@@ -1,0 +1,36 @@
+"""A2 — BFT committee size vs throughput/latency: why consortia stay small.
+
+Design-choice ablation: PBFT's all-to-all phases cost O(n^2) messages, so the
+per-request CPU and latency grow with the committee; this is the quantitative
+reason permissioned networks are run by tens, not thousands, of validators.
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.consensus.cluster import committee_size_sweep
+
+
+def _run_sweep():
+    return committee_size_sweep([4, 7, 13, 19, 25], protocol="pbft",
+                                request_rate=4000, duration=3, seed=1)
+
+
+def test_a02_bft_scaling(once):
+    rows = once(_run_sweep)
+
+    table = ResultTable(
+        ["replicas", "throughput_tps", "p50_latency_s", "p99_latency_s", "messages_per_request"],
+        title="A2: PBFT committee size scaling",
+    )
+    for row in rows:
+        table.add_row(int(row["replicas"]), row["throughput_tps"], row["p50_latency_s"],
+                      row["p99_latency_s"], row["messages_per_request"])
+    table.print()
+
+    first, last = rows[0], rows[-1]
+    # Shape: message cost per request grows super-linearly with the committee,
+    # latency rises, and the sustainable throughput falls.
+    assert last["messages_per_request"] > 5 * first["messages_per_request"]
+    assert last["p50_latency_s"] > first["p50_latency_s"]
+    assert last["throughput_tps"] < first["throughput_tps"] * 1.05
+    message_costs = [row["messages_per_request"] for row in rows]
+    assert message_costs == sorted(message_costs)

@@ -1,0 +1,56 @@
+"""A4 — sensitivity of the DHT results to the churn model (Weibull vs exponential).
+
+Design-choice ablation: the E2/E5 conclusions should not hinge on the exact
+session-length distribution — heavy-tailed (Weibull) and memoryless
+(exponential) churn with the same mean availability produce the same
+qualitative gap between well-maintained and stale clients.
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.p2p.kademlia import KademliaConfig
+from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
+from repro.sim.churn import ChurnModel
+
+
+def _run_sweep():
+    churn_models = {
+        "weibull (heavy tail)": ChurnModel(session_distribution="weibull", mean_session=3600.0,
+                                           mean_downtime=3600.0, weibull_shape=0.5),
+        "exponential": ChurnModel(session_distribution="exponential", mean_session=3600.0,
+                                  mean_downtime=3600.0),
+        "pareto": ChurnModel(session_distribution="pareto", mean_session=3600.0,
+                             mean_downtime=3600.0),
+    }
+    rows = []
+    for label, churn in churn_models.items():
+        kad = LookupExperiment(
+            LookupExperimentConfig(network_size=300, lookups=70,
+                                   kademlia=KademliaConfig.kad_like(), churn=churn, seed=5)
+        ).run()
+        mainline = LookupExperiment(
+            LookupExperimentConfig(network_size=300, lookups=70,
+                                   kademlia=KademliaConfig.mainline_like(), churn=churn, seed=5)
+        ).run()
+        rows.append((label, kad.summary(), mainline.summary()))
+    return rows
+
+
+def test_a04_churn_models(once):
+    rows = once(_run_sweep)
+
+    table = ResultTable(
+        ["churn model", "kad median_s", "kad p90_s", "mainline median_s", "gap (x)"],
+        title="A4: DHT lookup results under different churn distributions",
+    )
+    for label, kad, mainline in rows:
+        gap = mainline["median_latency_s"] / max(kad["median_latency_s"], 1e-9)
+        table.add_row(label, kad["median_latency_s"], kad["p90_latency_s"],
+                      mainline["median_latency_s"], gap)
+    table.print()
+
+    # Shape: regardless of the session distribution, the well-maintained client
+    # answers in seconds and the stale/conservative client is an order of
+    # magnitude slower — the E2 conclusion is not an artifact of the Weibull fit.
+    for label, kad, mainline in rows:
+        assert kad["median_latency_s"] < 8.0
+        assert mainline["median_latency_s"] > 5.0 * kad["median_latency_s"]

@@ -1,0 +1,57 @@
+"""E3 — Sybil attacks on open DHTs (Section II-B, Problem 3).
+
+Paper: "open networks where peers can assign their identities are prone to
+Sybil attacks.  In a Sybil attack, the idea is to impersonate thousands of
+identifiers with a few powerful nodes"; "massive identity problems were
+reported in eMule KAD and in Bittorrent DHTs".
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.p2p.identifiers import key_for
+from repro.p2p.sybil import SybilAttackConfig, run_sybil_attack
+
+
+def _run_attacks():
+    sweep = []
+    for identities_per_machine in (5, 25, 50, 100):
+        sweep.append(
+            run_sybil_attack(
+                SybilAttackConfig(
+                    honest_nodes=200, attacker_machines=4,
+                    identities_per_machine=identities_per_machine,
+                    lookups=60, seed=1,
+                )
+            )
+        )
+    targeted = run_sybil_attack(
+        SybilAttackConfig(
+            honest_nodes=200, attacker_machines=2, identities_per_machine=16,
+            lookups=40, targeted_key=key_for("censored-content"), seed=2,
+        )
+    )
+    return sweep, targeted
+
+
+def test_e03_sybil_attack(once):
+    sweep, targeted = once(_run_attacks)
+
+    table = ResultTable(
+        ["attack", "machines", "identities", "identity_share", "physical_share", "hijack_rate"],
+        title="E3: Sybil attacks on an open Kademlia overlay",
+    )
+    for result in sweep:
+        table.add_row("uniform", result.attacker_machines, result.sybil_identities,
+                      result.identity_share, result.physical_share, result.hijack_rate)
+    table.add_row("targeted key", targeted.attacker_machines, targeted.sybil_identities,
+                  targeted.identity_share, targeted.physical_share, targeted.hijack_rate)
+    table.print()
+
+    hijack_rates = [result.hijack_rate for result in sweep]
+    # Shape: hijack grows (superlinearly) with the identity share even though
+    # the physical resources are constant, and a targeted attack from ~1% of
+    # physical nodes intercepts essentially all lookups for the victim key.
+    assert hijack_rates[-1] > hijack_rates[0]
+    assert hijack_rates[-1] > 0.4
+    assert sweep[-1].amplification > 5.0
+    assert targeted.physical_share < 0.02
+    assert targeted.hijack_rate > 0.9

@@ -1,0 +1,60 @@
+"""E4 — free riding and tit-for-tat incentives (Section II-B, Problem 1).
+
+Paper: free riding "was extensively reported in the Gnutella overlay";
+"BitTorrent mitigated the free riding problem by designing the protocol
+including incentives (tit-for-tat) ... But again, collaboration is only
+enforced during the download process."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.p2p.bittorrent import SwarmConfig, TitForTatSwarm
+from repro.p2p.freeriding import (
+    GNUTELLA_2000_REFERENCE,
+    ContributionModel,
+    analyze_contributions,
+    incentive_sensitivity,
+)
+
+
+def _run_models():
+    gnutella = analyze_contributions(
+        ContributionModel(peers=10_000, free_rider_fraction=0.70).generate(seed=1)
+    )
+    sensitivity = incentive_sensitivity([0.0, 0.5, 1.0], peers=4000, seed=2)
+    swarm = TitForTatSwarm(
+        SwarmConfig(leechers=50, seeds=4, file_pieces=250, free_rider_fraction=0.3,
+                    seed_lingering_rounds=2),
+        seed=3,
+    ).run()
+    return gnutella, sensitivity, swarm
+
+
+def test_e04_free_riding(once):
+    gnutella, sensitivity, swarm = once(_run_models)
+
+    table = ResultTable(
+        ["quantity", "measured", "reference"],
+        title="E4: free riding (Adar & Huberman shape) and tit-for-tat",
+    )
+    table.add_row("free rider fraction", gnutella.free_rider_fraction,
+                  GNUTELLA_2000_REFERENCE["free_rider_fraction"])
+    table.add_row("top 1% share of files", gnutella.top_1pct_share,
+                  GNUTELLA_2000_REFERENCE["top_1pct_share_of_files"])
+    table.add_row("top 25% share of files", gnutella.top_25pct_share,
+                  GNUTELLA_2000_REFERENCE["top_25pct_share_of_files"])
+    table.add_row("free-rider completion penalty (x)", swarm.free_rider_penalty(), ">1")
+    table.add_row("seeds remaining at end", swarm.seeds_over_time[-1], "few (seeding collapses)")
+    table.add_row("peers that completed", len(swarm.completion_rounds), "-")
+    table.print()
+
+    # Shape 1: the no-incentive overlay matches the measured Gnutella distribution.
+    assert gnutella.matches_reference()
+    assert gnutella.top_1pct_share >= GNUTELLA_2000_REFERENCE["top_1pct_share_of_files"] - 0.15
+    # Shape 2: stronger incentives monotonically reduce free riding.
+    fractions = [report.free_rider_fraction for report in sensitivity]
+    assert fractions[0] > fractions[1] > fractions[2]
+    # Shape 3: tit-for-tat penalises free riders during the download, but the
+    # seeding population still collapses once downloads complete — only a small
+    # fraction of the swarm sticks around to maintain the service.
+    assert swarm.free_rider_penalty() > 1.1
+    assert swarm.seeds_over_time[-1] < 0.3 * (50 + 4)

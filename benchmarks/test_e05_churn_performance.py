@@ -1,0 +1,59 @@
+"""E5 — churn degrades open-overlay performance (Section II-B, Problem 2).
+
+Paper: "P2P networks show high heterogeneity and high degrees of churn ...
+this can cause performance problems and latency.  When one needs any kind
+of guaranteed quality of service ... stable cloud servers have no rival in
+P2P networks."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.p2p.kademlia import KademliaConfig
+from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
+from repro.sim.churn import ChurnModel
+
+
+def _run_sweep():
+    # The stable scenario models consortium/cloud membership: nobody leaves, so
+    # routing tables never go stale.  The churny scenarios share the same
+    # client behaviour and differ only in membership dynamics.
+    stable_client = KademliaConfig.kad_like()
+    stable_client.initial_stale_fraction = 0.0
+    scenarios = [
+        ("stable (cloud-like)", None, stable_client),
+        ("moderate churn", ChurnModel.kad_like(), KademliaConfig.kad_like()),
+        ("heavy churn", ChurnModel.bittorrent_like(), KademliaConfig.kad_like()),
+        ("extreme churn", ChurnModel.aggressive(), KademliaConfig.kad_like()),
+    ]
+    rows = []
+    for label, churn, client in scenarios:
+        stats = LookupExperiment(
+            LookupExperimentConfig(
+                network_size=300, lookups=80, kademlia=client, churn=churn, seed=4,
+            )
+        ).run()
+        rows.append((label, stats.summary()))
+    return rows
+
+
+def test_e05_churn_performance(once):
+    rows = once(_run_sweep)
+
+    table = ResultTable(
+        ["membership", "median_s", "p90_s", "failure_rate", "timeouts/lookup", "staleness"],
+        title="E5: lookup performance vs churn (stable membership has no rival)",
+    )
+    for label, summary in rows:
+        table.add_row(label, summary["median_latency_s"], summary["p90_latency_s"],
+                      summary["failure_rate"], summary["timeouts_per_lookup"],
+                      summary["routing_staleness"])
+    table.print()
+
+    stable = rows[0][1]
+    extreme = rows[-1][1]
+    # Shape: latency and timeouts rise with churn; the stable configuration is flat.
+    assert stable["median_latency_s"] < 1.0
+    assert stable["failure_rate"] <= 0.02
+    assert extreme["median_latency_s"] > 2.0 * stable["median_latency_s"]
+    assert extreme["timeouts_per_lookup"] > stable["timeouts_per_lookup"]
+    medians = [summary["median_latency_s"] for _, summary in rows]
+    assert medians[-1] > medians[0]

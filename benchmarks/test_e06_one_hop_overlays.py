@@ -1,0 +1,51 @@
+"""E6 — one-hop overlays are the right call for stable 10K-100K networks (Section II-B).
+
+Paper (citing Gupta/Liskov/Rodrigues [24]): "for networks between 10K and
+100K it is possible to have full membership routing information and provide
+one-hop routing.  If the overlay is relatively stable like a corporate
+network, then O(1) routing and full membership is the right decision."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.p2p.onehop import OverlayCostModel
+
+
+def _run_sweep():
+    model = OverlayCostModel()
+    rows = []
+    for size in (10_000, 50_000, 100_000, 1_000_000):
+        for churn_label, churn_rate in (("corporate (0.2/h)", 0.2), ("open p2p (4/h)", 4.0)):
+            comparison = model.compare(size, churn_rate)
+            comparison["churn"] = churn_label
+            comparison["feasible"] = model.onehop_feasible(size, churn_rate)
+            rows.append(comparison)
+    return rows
+
+
+def test_e06_one_hop_overlays(once):
+    rows = once(_run_sweep)
+
+    table = ResultTable(
+        ["size", "churn", "1hop_state_MB", "1hop_kbps", "1hop_latency_s",
+         "dht_latency_s", "1hop_feasible"],
+        title="E6: one-hop (full membership) vs multi-hop DHT",
+    )
+    for row in rows:
+        table.add_row(int(row["size"]), row["churn"], row["onehop_state_mb"],
+                      row["onehop_maintenance_kbps"], row["onehop_lookup_latency_s"],
+                      row["multihop_lookup_latency_s"], row["feasible"])
+    table.print()
+
+    corporate = [row for row in rows if "corporate" in row["churn"]]
+    open_p2p = [row for row in rows if "open" in row["churn"]]
+    # Shape: for 10K-100K nodes under corporate churn, one-hop is feasible and
+    # strictly faster than the multi-hop DHT.
+    for row in corporate:
+        if row["size"] <= 100_000:
+            assert row["feasible"]
+            assert row["onehop_lookup_latency_s"] < row["multihop_lookup_latency_s"]
+    # Shape: at a million nodes under open-P2P churn the maintenance bandwidth
+    # overwhelms the per-node budget — full membership stops being sensible.
+    worst = next(row for row in open_p2p if row["size"] == 1_000_000)
+    assert not worst["feasible"]
+    assert worst["onehop_maintenance_kbps"] > 100.0

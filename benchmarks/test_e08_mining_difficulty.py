@@ -1,0 +1,62 @@
+"""E8 — 10-minute intervals via difficulty retargeting; ephemeral forks (Section III-A).
+
+Paper: "The difficulty target is periodically adjusted in such a way that a
+new block is generated every 10 minutes"; "the blockchain may occasionally
+fork ... such ephemeral forks quickly disappear".
+"""
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import ResultTable
+from repro.blockchain.mining import DifficultyAdjuster
+from repro.blockchain.network import BITCOIN_PROTOCOL, PoWNetwork, PoWNetworkConfig
+from repro.sim.rng import SeededRNG
+
+
+def _run_retarget_and_forks():
+    # Part 1: difficulty retargeting after a 4x hashrate increase.
+    adjuster = DifficultyAdjuster(target_interval=600.0, retarget_window=144, initial_hashrate=1.0)
+    rng = SeededRNG(1)
+    hashrate = 4.0                       # the network just quadrupled its hash power
+    timestamp = 0.0
+    intervals_before, intervals_after = [], []
+    retargets = 0
+    for _ in range(600):
+        interval = rng.exponential(adjuster.difficulty / hashrate)
+        timestamp += interval
+        (intervals_after if retargets >= 1 else intervals_before).append(interval)
+        if adjuster.record_block(timestamp):
+            retargets += 1
+
+    # Part 2: fork/stale behaviour of the simulated Bitcoin-like network.
+    network = PoWNetwork(
+        PoWNetworkConfig(protocol=BITCOIN_PROTOCOL, miner_count=12,
+                         tx_arrival_rate=5.0, duration_blocks=120, seed=2)
+    )
+    result = network.run()
+    return mean(intervals_before), mean(intervals_after), retargets, result
+
+
+def test_e08_mining_difficulty(once):
+    before, after, retargets, result = once(_run_retarget_and_forks)
+
+    table = ResultTable(
+        ["quantity", "value", "target"],
+        title="E8: difficulty retargeting and ephemeral forks",
+    )
+    table.add_row("mean interval before retarget (s)", before, "150 (4x too fast)")
+    table.add_row("mean interval after retargets (s)", after, 600)
+    table.add_row("retargets fired", retargets, ">=1")
+    table.add_row("simulated mean block interval (s)", result.mean_block_interval, 600)
+    table.add_row("stale/orphan rate", result.stale_rate, "~1%")
+    table.add_row("max reorg depth", result.chain.max_reorg_depth, "small")
+    table.print()
+
+    # Shape: before the retarget blocks arrive ~4x too fast; afterwards the
+    # interval converges back to the 10-minute target.
+    assert before < 300.0
+    assert retargets >= 1
+    assert 400.0 <= after <= 800.0
+    # Shape: forks are rare and shallow at Bitcoin-like propagation/interval ratios.
+    assert result.stale_rate <= 0.05
+    assert result.chain.max_reorg_depth <= 2
+    assert 400.0 <= result.mean_block_interval <= 850.0

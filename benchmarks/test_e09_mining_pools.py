@@ -1,0 +1,63 @@
+"""E9 — mining-pool concentration and the hopeless desktop miner (Section III-C, Problem 1).
+
+Paper: "In 2013 six mining pools controlled 75% of overall Bitcoin hashing
+power.  Nowadays it is almost impossible for a normal user to mine bitcoins
+with a normal desktop computer."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.blockchain.pools import PoolFormationConfig, PoolFormationModel
+from repro.economics.incentives import HARDWARE_PROFILES, MiningEconomics
+
+
+def _run_models():
+    pools = PoolFormationModel(
+        PoolFormationConfig(
+            miners=1200,
+            rounds=120,
+            size_preference_exponent=1.12,
+            exploration_rate=0.12,
+            solo_threshold_share=0.03,
+            seed=3,
+        )
+    )
+    final = pools.run()
+    economics = MiningEconomics()
+    profitability = economics.profitability_report()
+    return pools, final, profitability
+
+
+def test_e09_mining_pools(once):
+    pools, final, profitability = once(_run_models)
+
+    table = ResultTable(
+        ["quantity", "value", "paper / expectation"],
+        title="E9: hash-power concentration and miner economics",
+    )
+    table.add_row("top-6 pools hash share", final.top_pools_share(6), ">= 0.75 (2013 observation)")
+    table.add_row("top-1 pool hash share", final.top_pools_share(1), "~0.3-0.45 (GHash.io era)")
+    table.add_row("Nakamoto coefficient", pools.final_nakamoto_coefficient(), "<= 6")
+    table.print()
+
+    hardware = ResultTable(
+        ["hardware", "revenue_usd_day", "electricity_usd_day", "profit_usd_day", "days_per_block_solo"],
+        title="E9b: expected mining economics per hardware class",
+    )
+    by_name = {row["name"]: row for row in profitability}
+    for name in ("desktop-cpu", "gaming-gpu", "asic-miner", "asic-farm"):
+        row = by_name[name]
+        hardware.add_row(name, row["revenue_per_day_usd"], row["electricity_per_day_usd"],
+                         row["profit_per_day_usd"], row["days_per_block_solo"])
+    hardware.print()
+
+    # Shape: concentration reaches the 2013 observation; a handful of pools
+    # control a majority of the hash power.
+    assert final.top_pools_share(6) >= 0.70
+    assert pools.final_nakamoto_coefficient() <= 6
+    trajectory = pools.top_k_trajectory(6)
+    assert trajectory[-1] > trajectory[0]
+    # Shape: the desktop CPU miner loses money and would wait millennia for a
+    # block, while the industrial farm remains profitable.
+    assert by_name["desktop-cpu"]["profit_per_day_usd"] < 0
+    assert by_name["desktop-cpu"]["days_per_block_solo"] > 365_000
+    assert by_name["asic-farm"]["profit_per_day_usd"] > 0

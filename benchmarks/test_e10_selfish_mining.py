@@ -1,0 +1,48 @@
+"""E10 — selfish mining: a minority pool earns more than its fair share (Section III-C).
+
+Paper (citing Eyal & Sirer [30]): "They present an attack where a minority
+colluding pool can obtain more revenue than the pool's fair share."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.blockchain.selfish import (
+    profitability_threshold,
+    revenue_curve,
+    selfish_mining_revenue,
+)
+
+
+def _run_curves():
+    alphas = [0.1, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45]
+    return {
+        "gamma0": revenue_curve(alphas, gamma=0.0, blocks=120_000, seed=1),
+        "gamma05": revenue_curve(alphas, gamma=0.5, blocks=120_000, seed=1),
+    }
+
+
+def test_e10_selfish_mining(once):
+    curves = once(_run_curves)
+
+    table = ResultTable(
+        ["alpha", "honest", "analytic g=0", "simulated g=0", "analytic g=0.5", "simulated g=0.5"],
+        title="E10: selfish-mining relative revenue (Eyal-Sirer)",
+    )
+    for row0, row05 in zip(curves["gamma0"], curves["gamma05"]):
+        table.add_row(row0["alpha"], row0["honest_revenue"], row0["analytic_revenue"],
+                      row0["simulated_revenue"], row05["analytic_revenue"],
+                      row05["simulated_revenue"])
+    table.print()
+
+    threshold_g0 = profitability_threshold(0.0)
+    # Shape 1: Monte-Carlo matches the closed form.
+    for row in curves["gamma0"]:
+        assert abs(row["simulated_revenue"] - row["analytic_revenue"]) < 0.025
+    # Shape 2: below the 1/3 threshold (gamma=0) the attack loses; above it wins.
+    below = next(row for row in curves["gamma0"] if row["alpha"] == 0.25)
+    above = next(row for row in curves["gamma0"] if row["alpha"] == 0.4)
+    assert below["simulated_revenue"] < below["alpha"]
+    assert above["simulated_revenue"] > above["alpha"] + 0.03
+    assert abs(threshold_g0 - 1.0 / 3.0) < 1e-9
+    # Shape 3: better propagation control (gamma) lowers the profitability bar.
+    assert profitability_threshold(0.5) < threshold_g0
+    assert selfish_mining_revenue(0.3, 0.5) > selfish_mining_revenue(0.3, 0.0)

@@ -1,0 +1,39 @@
+"""E11 — proof-of-work energy consumption (Section III-B).
+
+Paper: "the Bitcoin energy consumption peaked at 70TWh in 2018, which is
+roughly what a country like Austria consumes."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.blockchain.energy import AUSTRIA_ANNUAL_TWH, EnergyModel
+
+
+def _run_model():
+    model = EnergyModel()
+    return model.report()
+
+
+def test_e11_energy(once):
+    report = once(_run_model)
+
+    table = ResultTable(
+        ["quantity", "value", "paper / reference"],
+        title="E11: Bitcoin energy consumption (2018-era parameters)",
+    )
+    table.add_row("network power (GW)", report["network_power_gw"], "~7-9")
+    table.add_row("annual energy (TWh/yr)", report["annual_energy_twh"],
+                  f"~{AUSTRIA_ANNUAL_TWH} (Austria)")
+    table.add_row("revenue-implied bound (TWh/yr)", report["revenue_implied_energy_twh"], "same order")
+    table.add_row("energy per transaction (kWh)", report["energy_per_tx_kwh"], "~hundreds")
+    table.add_row("cloud OLTP tx energy (kWh)", report["cloud_energy_per_tx_kwh"], "~1e-7")
+    table.add_row("per-tx ratio (PoW / cloud)", report["per_tx_ratio"], ">1e6")
+    table.print()
+
+    # Shape: the bottom-up estimate lands in the tens-of-TWh band around the
+    # paper's 70 TWh figure, the revenue-implied bound agrees to within a small
+    # factor, and a PoW transaction costs many orders of magnitude more energy
+    # than a cloud transaction.
+    assert 40.0 <= report["annual_energy_twh"] <= 110.0
+    assert abs(report["annual_energy_twh"] - AUSTRIA_ANNUAL_TWH) / AUSTRIA_ANNUAL_TWH < 0.4
+    assert 0.2 < report["revenue_implied_energy_twh"] / report["annual_energy_twh"] < 5.0
+    assert report["per_tx_ratio"] > 1e6

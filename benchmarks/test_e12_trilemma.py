@@ -1,0 +1,39 @@
+"""E12 — the scalability trilemma (Section III-C, Problem 2).
+
+Paper: "a blockchain technology can only address two of the three
+challenges: scalability, decentralization, and security", scalability being
+"able to process O(n) > O(c) transactions".
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.blockchain.trilemma import evaluate_designs
+
+
+def _run_scores():
+    return evaluate_designs()
+
+
+def test_e12_trilemma(once):
+    scores = once(_run_scores)
+
+    table = ResultTable(
+        ["design", "throughput_tps", "x over c", "scalability", "decentralization",
+         "security", "sacrifices"],
+        title="E12: the scalability trilemma across the design space",
+    )
+    for score in scores:
+        table.add_row(score.design, score.throughput_tps, score.throughput_over_c,
+                      score.scalability, score.decentralization, score.security,
+                      score.weakest_axis())
+    table.print()
+
+    by_name = {score.design: score for score in scores}
+    # Shape: no design gets all three; each corner has a recognisable sacrifice.
+    assert all(not score.satisfies_all_three() for score in scores)
+    assert by_name["full-broadcast-pow"].weakest_axis() == "scalability"
+    assert by_name["bigger-blocks"].weakest_axis() == "decentralization"
+    assert by_name["small-committee-layer2"].weakest_axis() == "decentralization"
+    assert by_name["sharded"].weakest_axis() == "security"
+    # Buterin's definition: the broadcast design never processes more than O(c).
+    assert by_name["full-broadcast-pow"].throughput_over_c <= 1.5
+    assert by_name["sharded"].throughput_over_c > 10.0

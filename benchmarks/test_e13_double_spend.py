@@ -1,0 +1,55 @@
+"""E13 — 51%/double-spend security and Sybil-proofness of PoW (Section III-A).
+
+Paper: rewriting history is "a feat possible only if the attacker possesses
+more than half of the computing power.  Having multiple (anonymous)
+identities, as in sybil attacks, is thus useless."
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.blockchain.attacks import (
+    attacker_success_probability,
+    confirmations_for_risk,
+    sybil_resistance_table,
+)
+
+
+def _run_tables():
+    shares = (0.1, 0.25, 0.4, 0.51)
+    confirmations = (1, 3, 6, 12)
+    matrix = {
+        q: {z: attacker_success_probability(q, z) for z in confirmations} for q in shares
+    }
+    needed = {q: confirmations_for_risk(q, 0.001) for q in (0.1, 0.25, 0.4)}
+    sybil = sybil_resistance_table(0.25, [1, 100, 10_000], confirmations=6)
+    return matrix, needed, sybil
+
+
+def test_e13_double_spend(once):
+    matrix, needed, sybil = once(_run_tables)
+
+    table = ResultTable(
+        ["attacker share", "z=1", "z=3", "z=6", "z=12"],
+        title="E13: double-spend success probability (Nakamoto catch-up)",
+    )
+    for share, row in matrix.items():
+        table.add_row(share, row[1], row[3], row[6], row[12])
+    table.print()
+
+    sybil_table = ResultTable(
+        ["identities", "hash share", "success probability"],
+        title="E13b: Sybil identities do not help against proof-of-work",
+    )
+    for row in sybil:
+        sybil_table.add_row(int(row["identities"]), row["hash_share"], row["success_probability"])
+    sybil_table.print()
+
+    # Shape: success decays geometrically with confirmations for q < 0.5 and is
+    # certain for a majority attacker.
+    assert matrix[0.1][6] < 1e-3
+    assert matrix[0.25][6] < matrix[0.25][1]
+    assert matrix[0.51][12] == 1.0
+    assert needed[0.1] <= 6 <= needed[0.4]
+    # Shape: splitting the same hash power over any number of identities leaves
+    # the success probability untouched.
+    probabilities = {row["success_probability"] for row in sybil}
+    assert len(probabilities) == 1

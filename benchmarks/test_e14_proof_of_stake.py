@@ -1,0 +1,57 @@
+"""E14 — proof-of-stake, nothing-at-stake and cheap attacks (Section III-C, Problem 2).
+
+Paper: "Alternative approaches based on proof-of-X, where X could be stake,
+space, activity, etc. seem not be able to fully address this problem so far",
+citing Houy's "It will cost you nothing to 'kill' a proof-of-stake
+crypto-currency".
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.blockchain.proof_of_stake import (
+    NothingAtStakeModel,
+    ProofOfStakeParams,
+    attack_cost_comparison,
+)
+
+
+def _run_models():
+    naive = NothingAtStakeModel(
+        ProofOfStakeParams(slashing_enabled=False, multi_vote_fraction=0.9, rounds=3000, seed=1)
+    ).run()
+    slashing = NothingAtStakeModel(
+        ProofOfStakeParams(slashing_enabled=True, rounds=3000, seed=1)
+    ).run()
+    costs = attack_cost_comparison()
+    return naive, slashing, costs
+
+
+def test_e14_proof_of_stake(once):
+    naive, slashing, costs = once(_run_models)
+
+    table = ResultTable(
+        ["protocol variant", "fork-open fraction", "mean fork duration (rounds)"],
+        title="E14: nothing-at-stake fork persistence",
+    )
+    table.add_row("naive PoS (no slashing)", naive.fork_open_fraction,
+                  naive.mean_fork_duration_rounds)
+    table.add_row("PoS with slashing", slashing.fork_open_fraction,
+                  slashing.mean_fork_duration_rounds)
+    table.print()
+
+    cost_table = ResultTable(
+        ["attack", "capital_usd", "operating_usd", "total_usd"],
+        title="E14b: out-of-pocket cost of acquiring a majority",
+    )
+    for name, row in costs.items():
+        cost_table.add_row(name, row["capital_usd"], row["operating_usd"], row["total_usd"])
+    cost_table.print()
+
+    # Shape: without slashing, rational multi-voting keeps forks open most of
+    # the time; slashing restores fast convergence.
+    assert naive.fork_open_fraction > 0.5
+    assert slashing.fork_open_fraction < 0.2
+    assert naive.mean_fork_duration_rounds > slashing.mean_fork_duration_rounds
+    # Shape: buying up old keys under naive PoS costs orders of magnitude less
+    # than matching PoW hardware+energy (Houy's "costs you nothing" argument).
+    assert costs["naive_pos"]["total_usd"] < costs["pow"]["total_usd"] / 10.0
+    assert costs["naive_pos"]["total_usd"] < costs["slashing_pos"]["total_usd"]

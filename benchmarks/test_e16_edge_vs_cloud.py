@@ -1,0 +1,71 @@
+"""E16 — edge-centric computing plus permissioned blockchains (Section V, Figure 1).
+
+Paper: control and data should sit at the edge ("everything is in the
+edge"), with permissioned blockchains providing decentralized trust and the
+cloud acting as a utility; blockchain islands interoperate across domains.
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.core.comparison import compare_architectures
+from repro.edge.islands import BlockchainIsland, IslandFederation
+from repro.edge.placement import compare_placements
+
+
+def _run_all():
+    placements = compare_placements(requests=1500, seed=5)
+    federation = IslandFederation(seed=6)
+    federation.add_island(BlockchainIsland(name="trade", domain="supply-chain", seed=7))
+    federation.add_island(BlockchainIsland(name="health", domain="healthcare", seed=8))
+    federation.connect("trade", "health")
+    interop = federation.interoperability_overhead("trade", "health",
+                                                   request_rate=150, duration=3)
+    architectures = compare_architectures(seed=3, pow_blocks=25, fabric_rate=1000,
+                                          fabric_duration=4)
+    return placements, interop, architectures
+
+
+def test_e16_edge_vs_cloud(once):
+    placements, interop, architectures = once(_run_all)
+
+    table = ResultTable(
+        ["placement", "p50_ms", "p99_ms", "trust_nakamoto", "data stays local"],
+        title="E16: Figure 1 as numbers — centralized cloud vs edge-centric federation",
+    )
+    for name in ("cloud-only", "regional-cloud", "edge-centric"):
+        result = placements.results[name]
+        table.add_row(name, result.p50_latency * 1000, result.p99_latency * 1000,
+                      result.trust_nakamoto, result.control_locality)
+    table.print()
+
+    interop_table = ResultTable(
+        ["quantity", "value"],
+        title="E16b: blockchain-island interoperability overhead",
+    )
+    interop_table.add_row("intra-island latency (s)", interop["intra_island_latency_s"])
+    interop_table.add_row("cross-island latency (s)", interop["cross_island_latency_s"])
+    interop_table.add_row("overhead factor", interop["overhead_factor"])
+    interop_table.print()
+
+    arch_table = ResultTable(
+        ["architecture", "throughput_tps", "finality_s", "trust_nakamoto"],
+        title="E16c: whole-architecture comparison",
+    )
+    for row in architectures.rows():
+        arch_table.add_row(row["architecture"], row["throughput_tps"],
+                           row["finality_latency_s"], row["trust_nakamoto"])
+    arch_table.print()
+
+    cloud = placements.results["cloud-only"]
+    edge = placements.results["edge-centric"]
+    # Shape: edge placement is several-fold faster, keeps data local, and its
+    # trust is spread over the federation instead of one provider.
+    assert placements.speedup("cloud-only", "edge-centric") > 3.0
+    assert edge.trust_nakamoto > 1 and cloud.trust_nakamoto == 1
+    assert edge.control_locality > 0.8
+    # Shape: interoperability costs roughly one extra island transaction, not more.
+    assert 1.5 < interop["overhead_factor"] < 6.0
+    # Shape: the proposed stack keeps multi-party trust while being orders of
+    # magnitude faster than the permissionless chains.
+    profiles = architectures.profiles
+    assert profiles["edge-federation"].trust_nakamoto > 1
+    assert profiles["edge-federation"].throughput_tps > 50 * profiles["bitcoin-pow"].throughput_tps

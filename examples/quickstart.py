@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: compare the architectures the paper argues about.
+
+Runs the same payment-style workload on a permissionless proof-of-work
+network, a permissioned Fabric-like consortium, a centralized cloud model
+and an edge-centric federation, then prints the comparison table (the
+measured version of the paper's Figure 1) and the decision framework's
+recommendation for a few example applications.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.core import DecisionInput, compare_architectures, recommend_architecture
+
+
+def main() -> None:
+    print("Running the architecture comparison (this takes a few seconds)...")
+    comparison = compare_architectures(seed=7, pow_blocks=30, fabric_rate=1000, fabric_duration=4)
+
+    table = ResultTable(
+        ["architecture", "throughput_tps", "finality_s", "energy_per_tx_kwh",
+         "trust_nakamoto", "open_membership"],
+        title="Architecture comparison (the paper's Figure 1, measured)",
+    )
+    for row in comparison.rows():
+        table.add_row(row["architecture"], row["throughput_tps"], row["finality_latency_s"],
+                      row["energy_per_tx_kwh"], row["trust_nakamoto"], row["open_membership"])
+    table.print()
+
+    gap = comparison.throughput_gap("permissioned-fabric", "bitcoin-pow")
+    print(f"\nPermissioned consortium vs Bitcoin-like PoW throughput gap: {gap:,.0f}x")
+
+    print("\nDecision framework (Section V use cases):")
+    applications = {
+        "supply-chain consortium": DecisionInput(participants_known=True,
+                                                 participants_mutually_trusting=False),
+        "latency-sensitive smart grid": DecisionInput(participants_known=True,
+                                                      participants_mutually_trusting=False,
+                                                      latency_sensitive=True,
+                                                      data_locality_required=True),
+        "consumer web application": DecisionInput(single_trusted_operator_acceptable=True,
+                                                  latency_sensitive=True),
+        "censorship-resistant currency": DecisionInput(participants_known=False,
+                                                       open_anonymous_participation_required=True,
+                                                       audit_trail_required=False),
+    }
+    for name, application in applications.items():
+        recommendation = recommend_architecture(application)
+        print(f"  - {name}: {recommendation.architecture}")
+        for reason in recommendation.reasons:
+            print(f"      because {reason}")
+        for warning in recommendation.warnings:
+            print(f"      warning: {warning}")
+
+
+if __name__ == "__main__":
+    main()

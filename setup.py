@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that ``pip install -e .``
+works in fully offline environments that lack the ``wheel`` package (the legacy
+``setup.py develop`` code path needs neither network access nor wheel building).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Simulation and analysis library reproducing 'Please, do not Decentralize "
+        "the Internet with (Permissionless) Blockchains!' (ICDCS 2019)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

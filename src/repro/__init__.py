@@ -1,0 +1,57 @@
+"""repro — simulation & analysis library reproducing
+"Please, do not Decentralize the Internet with (Permissionless) Blockchains!"
+(Garcia Lopez, Montresor, Datta — ICDCS 2019).
+
+The library builds, from scratch, every system the paper's argument rests on
+and exposes the paper's quantitative claims as runnable experiments:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+* :mod:`repro.p2p` — open peer-to-peer overlays (DHTs, flooding, superpeers,
+  one-hop), churn, Sybil attacks, free riding and tit-for-tat.
+* :mod:`repro.blockchain` — permissionless proof-of-work networks, mining
+  pools, selfish mining, double-spend analysis, energy, proof-of-stake and
+  the scalability trilemma.
+* :mod:`repro.consensus` — PBFT and Raft replication substrates.
+* :mod:`repro.permissioned` — a Hyperledger-Fabric-like permissioned
+  blockchain (execute-order-validate, channels, MVCC).
+* :mod:`repro.edge` — edge-centric topologies, placement and blockchain
+  islands.
+* :mod:`repro.economics` — market concentration, pricing volatility and
+  mining economics.
+* :mod:`repro.core` — the architecture comparison harness, the decision
+  framework and the claim registry (E1-E16).
+
+Quickstart::
+
+    from repro.core import compare_architectures
+    comparison = compare_architectures()
+    for row in comparison.rows():
+        print(row)
+"""
+
+from repro.core import (
+    ArchitectureComparison,
+    ArchitectureProfile,
+    CLAIMS,
+    Claim,
+    DecisionInput,
+    Recommendation,
+    claims_by_id,
+    compare_architectures,
+    recommend_architecture,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureComparison",
+    "ArchitectureProfile",
+    "CLAIMS",
+    "Claim",
+    "DecisionInput",
+    "Recommendation",
+    "claims_by_id",
+    "compare_architectures",
+    "recommend_architecture",
+    "__version__",
+]

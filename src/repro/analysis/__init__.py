@@ -1,0 +1,25 @@
+"""Statistics and reporting helpers shared by experiments and benchmarks."""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    cdf_points,
+    describe,
+    geometric_mean,
+    linear_fit,
+    mean,
+    percentile,
+    stdev,
+)
+from repro.analysis.tables import ResultTable
+
+__all__ = [
+    "bootstrap_ci",
+    "cdf_points",
+    "describe",
+    "geometric_mean",
+    "linear_fit",
+    "mean",
+    "percentile",
+    "stdev",
+    "ResultTable",
+]

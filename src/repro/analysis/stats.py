@@ -1,0 +1,117 @@
+"""Small, dependency-light statistics helpers.
+
+These are intentionally simple re-implementations (mean, percentile,
+bootstrap confidence intervals, least-squares fit) so that experiment code
+reads clearly and works on plain Python lists produced by the simulators.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two values."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((value - mu) ** 2 for value in values) / len(values))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values; 0.0 for an empty input."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile with ``q`` in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Headline summary statistics as a dictionary."""
+    values = list(values)
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "stdev": stdev(values),
+        "min": min(values) if values else 0.0,
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "max": max(values) if values else 0.0,
+    }
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as sorted (value, cumulative fraction) pairs."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    iterations: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Bootstrap confidence interval for the mean of ``values``."""
+    values = list(values)
+    if not values:
+        return (0.0, 0.0)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    resampled_means = []
+    for _ in range(iterations):
+        resample = [rng.choice(values) for _ in range(len(values))]
+        resampled_means.append(mean(resample))
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        percentile(resampled_means, 100.0 * alpha),
+        percentile(resampled_means, 100.0 * (1.0 - alpha)),
+    )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = slope * x + intercept``; returns (slope, intercept)."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        return (0.0, ys[0] if ys else 0.0)
+    mean_x = mean(xs)
+    mean_y = mean(ys)
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0:
+        return (0.0, mean_y)
+    slope = covariance / variance
+    return (slope, mean_y - slope * mean_x)

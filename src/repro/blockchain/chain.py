@@ -1,0 +1,159 @@
+"""Block tree with the longest-chain rule, forks and reorganisations.
+
+Section III-A of the paper: "Given the probabilistic nature of the process,
+the blockchain may occasionally fork: the chain may be extended by distinct
+blocks.  As nodes are incentivized to extend the longest fork, such
+ephemeral forks quickly disappear, reaching a (delayed) consensus."
+
+:class:`BlockTree` stores every block ever seen (main chain and stale
+branches), selects the canonical head by height (ties broken by
+first-received, as Bitcoin Core does), and reports the fork/stale statistics
+that Experiments E8 and A1 tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.blockchain.primitives import Block
+
+
+@dataclass
+class ChainStats:
+    """Summary statistics of a block tree."""
+
+    total_blocks: int
+    main_chain_length: int
+    stale_blocks: int
+    stale_rate: float
+    forks_observed: int
+    max_reorg_depth: int
+    mean_interblock_time: float
+    total_transactions: int
+
+
+class BlockTree:
+    """All blocks seen by a node (or by the global observer), by hash."""
+
+    def __init__(self, genesis: Optional[Block] = None) -> None:
+        self.genesis = genesis or Block.genesis()
+        self.blocks: Dict[str, Block] = {self.genesis.hash: self.genesis}
+        self.children: Dict[str, List[str]] = {self.genesis.hash: []}
+        self.arrival_order: Dict[str, int] = {self.genesis.hash: 0}
+        self._arrival_counter = 1
+        self.head: Block = self.genesis
+        self.forks_observed = 0
+        self.max_reorg_depth = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def contains(self, block_hash: str) -> bool:
+        """Whether the block is already known."""
+        return block_hash in self.blocks
+
+    def add(self, block: Block) -> bool:
+        """Add a block; returns ``True`` if it became the new head.
+
+        Blocks whose parent is unknown are rejected (the network layer is
+        responsible for delivering parents first or re-requesting them).
+        """
+        if block.hash in self.blocks:
+            return False
+        if block.parent_hash not in self.blocks:
+            raise KeyError(f"unknown parent {block.parent_hash[:12]} for block {block.hash[:12]}")
+        self.blocks[block.hash] = block
+        self.children[block.hash] = []
+        self.children[block.parent_hash].append(block.hash)
+        self.arrival_order[block.hash] = self._arrival_counter
+        self._arrival_counter += 1
+        if len(self.children[block.parent_hash]) == 2:
+            # The parent now has a second child: a fork came into existence.
+            self.forks_observed += 1
+        return self._maybe_switch_head(block)
+
+    def _maybe_switch_head(self, candidate: Block) -> bool:
+        if candidate.height > self.head.height:
+            reorg_depth = self._reorg_depth(self.head, candidate)
+            self.max_reorg_depth = max(self.max_reorg_depth, reorg_depth)
+            self.head = candidate
+            return True
+        return False
+
+    def _reorg_depth(self, old_head: Block, new_head: Block) -> int:
+        """Number of blocks abandoned when switching from ``old_head`` to ``new_head``."""
+        old_chain = set(self.chain_hashes(old_head))
+        cursor = new_head
+        while cursor.hash not in old_chain:
+            cursor = self.blocks[cursor.parent_hash]
+        fork_point_height = cursor.height
+        return old_head.height - fork_point_height
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def chain_hashes(self, tip: Optional[Block] = None) -> List[str]:
+        """Hashes from genesis to ``tip`` (default: current head), in order."""
+        tip = tip or self.head
+        hashes: List[str] = []
+        cursor: Optional[Block] = tip
+        while cursor is not None:
+            hashes.append(cursor.hash)
+            parent = cursor.parent_hash
+            cursor = self.blocks.get(parent)
+        return list(reversed(hashes))
+
+    def main_chain(self) -> List[Block]:
+        """Blocks of the canonical chain, genesis first."""
+        return [self.blocks[h] for h in self.chain_hashes()]
+
+    def stale_blocks(self) -> List[Block]:
+        """Blocks that are not on the canonical chain."""
+        main = set(self.chain_hashes())
+        return [block for block_hash, block in self.blocks.items() if block_hash not in main]
+
+    def confirmations(self, block_hash: str) -> int:
+        """Depth of a block under the head (0 if not on the main chain)."""
+        main = self.chain_hashes()
+        if block_hash not in main:
+            return 0
+        index = main.index(block_hash)
+        return len(main) - index
+
+    def confirmed_transactions(self, min_confirmations: int = 1) -> List:
+        """Transactions on the main chain with at least ``min_confirmations``."""
+        main = self.main_chain()
+        if min_confirmations > 1:
+            cutoff = len(main) - (min_confirmations - 1)
+            main = main[:cutoff] if cutoff > 0 else []
+        transactions = []
+        for block in main:
+            transactions.extend(block.transactions)
+        return transactions
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> ChainStats:
+        """Aggregate fork/interval statistics for experiments."""
+        main = self.main_chain()
+        total = len(self.blocks)
+        stale = total - len(main)
+        intervals = [
+            child.timestamp - parent.timestamp
+            for parent, child in zip(main, main[1:])
+        ]
+        non_genesis = total - 1
+        return ChainStats(
+            total_blocks=total,
+            main_chain_length=len(main),
+            stale_blocks=stale,
+            stale_rate=stale / non_genesis if non_genesis > 0 else 0.0,
+            forks_observed=self.forks_observed,
+            max_reorg_depth=self.max_reorg_depth,
+            mean_interblock_time=(
+                sum(intervals) / len(intervals) if intervals else 0.0
+            ),
+            total_transactions=sum(block.tx_count for block in main),
+        )

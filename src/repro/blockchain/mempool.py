@@ -1,0 +1,92 @@
+"""Transaction memory pool with fee-priority block assembly."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.blockchain.primitives import Transaction
+
+
+class Mempool:
+    """Pending transactions waiting to be included in a block.
+
+    Miners draw from the pool highest-fee-rate first (fee per byte), which is
+    both what real miners do and what makes fee markets emerge when demand
+    exceeds block capacity — the "expensive and volatile cost of transactions"
+    the paper points at.
+    """
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        self.max_size = max_size
+        self._transactions: Dict[str, Transaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._transactions
+
+    def add(self, transaction: Transaction) -> bool:
+        """Add a transaction; returns ``False`` if duplicate or pool is full."""
+        if transaction.tx_id in self._transactions:
+            return False
+        if self.max_size is not None and len(self._transactions) >= self.max_size:
+            # Evict the lowest fee-rate transaction if the newcomer pays more.
+            worst_id = min(
+                self._transactions,
+                key=lambda tid: self._fee_rate(self._transactions[tid]),
+            )
+            if self._fee_rate(transaction) <= self._fee_rate(self._transactions[worst_id]):
+                return False
+            del self._transactions[worst_id]
+        self._transactions[transaction.tx_id] = transaction
+        return True
+
+    def add_many(self, transactions: Iterable[Transaction]) -> int:
+        """Add several transactions; returns how many were accepted."""
+        return sum(1 for tx in transactions if self.add(tx))
+
+    def remove(self, tx_ids: Iterable[str]) -> None:
+        """Remove confirmed (or otherwise invalidated) transactions."""
+        for tx_id in tx_ids:
+            self._transactions.pop(tx_id, None)
+
+    def pending(self) -> List[Transaction]:
+        """All pending transactions (unordered)."""
+        return list(self._transactions.values())
+
+    def total_bytes(self) -> int:
+        """Total size of all pending transactions."""
+        return sum(tx.size_bytes for tx in self._transactions.values())
+
+    @staticmethod
+    def _fee_rate(transaction: Transaction) -> float:
+        return transaction.fee / transaction.size_bytes if transaction.size_bytes else 0.0
+
+    def select_for_block(
+        self,
+        max_block_bytes: int,
+        max_transactions: Optional[int] = None,
+        exclude: Optional[Set[str]] = None,
+    ) -> List[Transaction]:
+        """Pick the highest-fee-rate transactions that fit in a block.
+
+        ``exclude`` lets callers skip transactions already confirmed on the
+        branch being extended (used when mining on top of a fork).
+        """
+        exclude = exclude or set()
+        candidates = sorted(
+            (tx for tx in self._transactions.values() if tx.tx_id not in exclude),
+            key=self._fee_rate,
+            reverse=True,
+        )
+        selected: List[Transaction] = []
+        used_bytes = 0
+        for tx in candidates:
+            if max_transactions is not None and len(selected) >= max_transactions:
+                break
+            if used_bytes + tx.size_bytes > max_block_bytes:
+                continue
+            selected.append(tx)
+            used_bytes += tx.size_bytes
+        return selected

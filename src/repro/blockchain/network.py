@@ -1,0 +1,387 @@
+"""Event-driven proof-of-work blockchain network simulator.
+
+This is the system behind the paper's performance numbers ("Bitcoin can
+process between 3.3 and 7 transactions per second, and Ethereum around 15
+per second"), the 10-minute-interval claim, and the fork/stale behaviour of
+Section III-A.  Miners (think of them as pools — a handful of entities with
+most of the hash power, as the paper notes) mine blocks as Poisson processes
+on top of their local view, broadcast them over a latency/bandwidth network,
+and follow the longest-chain rule.
+
+Transactions are modelled as a fluid backlog (a queue of arrival cohorts)
+rather than as per-transaction objects: each block confirms up to its
+capacity in transactions, drawn FIFO from the backlog, which yields both
+throughput and confirmation-latency distributions without creating millions
+of Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from repro.blockchain.chain import BlockTree, ChainStats
+from repro.blockchain.mining import DifficultyAdjuster, MinerSpec, MiningProcess
+from repro.blockchain.primitives import Block
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry, Sample
+from repro.sim.network import Network, NetworkParams
+from repro.sim.node import Node
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class ProtocolParams:
+    """Protocol constants of a permissionless blockchain."""
+
+    name: str
+    target_block_interval: float          # seconds
+    max_block_bytes: int                  # block capacity
+    avg_tx_bytes: int                     # average transaction size
+    retarget_window: int = 2016           # blocks between difficulty adjustments
+    coinbase_reward: float = 12.5
+    confirmations_for_finality: int = 6
+
+    @property
+    def max_txs_per_block(self) -> int:
+        """Transaction capacity of one full block."""
+        return max(1, self.max_block_bytes // self.avg_tx_bytes)
+
+    @property
+    def capacity_tps(self) -> float:
+        """Theoretical throughput ceiling in transactions per second."""
+        return self.max_txs_per_block / self.target_block_interval
+
+
+#: Bitcoin-like constants: 1 MB blocks every 10 minutes, ~400-byte transactions.
+BITCOIN_PROTOCOL = ProtocolParams(
+    name="bitcoin",
+    target_block_interval=600.0,
+    max_block_bytes=1_000_000,
+    avg_tx_bytes=400,
+    retarget_window=2016,
+    coinbase_reward=12.5,
+    confirmations_for_finality=6,
+)
+
+#: Ethereum-like constants: ~13-second blocks whose gas limit admits roughly
+#: 200 plain transfers, i.e. ≈15 tps of capacity.
+ETHEREUM_PROTOCOL = ProtocolParams(
+    name="ethereum",
+    target_block_interval=13.0,
+    max_block_bytes=50_000,
+    avg_tx_bytes=250,
+    retarget_window=100,
+    coinbase_reward=2.0,
+    confirmations_for_finality=12,
+)
+
+
+@dataclass
+class PoWNetworkConfig:
+    """Configuration of one proof-of-work network run."""
+
+    protocol: ProtocolParams = field(default_factory=lambda: BITCOIN_PROTOCOL)
+    miners: Optional[List[MinerSpec]] = None
+    miner_count: int = 12
+    hashrate_skew: float = 1.2           # Pareto shape of hashrate distribution
+    total_hashrate: float = 1e6          # arbitrary consistent units
+    tx_arrival_rate: float = 10.0        # offered load, transactions per second
+    validation_seconds_per_mb: float = 2.0
+    network_params: Optional[NetworkParams] = None
+    duration_blocks: int = 200           # stop after this many main-chain blocks
+    seed: int = 0
+
+    def build_miners(self, rng: SeededRNG) -> List[MinerSpec]:
+        """Miner list: either the explicit one or a Pareto-skewed population."""
+        if self.miners is not None:
+            return list(self.miners)
+        raw = [rng.pareto(self.hashrate_skew, 1.0) for _ in range(self.miner_count)]
+        scale = self.total_hashrate / sum(raw)
+        return [
+            MinerSpec(name=f"miner-{index}", hashrate=value * scale)
+            for index, value in enumerate(raw)
+        ]
+
+
+@dataclass
+class PoWNetworkResult:
+    """Measured outcome of one network run."""
+
+    protocol: str
+    duration: float
+    chain: ChainStats
+    throughput_tps: float
+    offered_load_tps: float
+    capacity_tps: float
+    mean_confirmation_latency: float
+    p90_confirmation_latency: float
+    mean_finality_latency: float
+    stale_rate: float
+    mean_block_interval: float
+    blocks_by_miner: Dict[str, int]
+    backlog_transactions: float
+    mean_propagation_delay: float
+
+
+class _MinerNode(Node):
+    """A mining node: local block tree plus a mining process."""
+
+    def __init__(
+        self,
+        spec: MinerSpec,
+        sim: Simulator,
+        network: Network,
+        powsim: "PoWNetwork",
+    ) -> None:
+        super().__init__(spec.name, sim, network, region=spec.region)
+        self.spec = spec
+        self.powsim = powsim
+        self.tree = BlockTree(powsim.genesis)
+        self.orphans: Dict[str, Block] = {}
+
+    # -- message handling ------------------------------------------------
+    def on_block(self, message) -> None:
+        block: Block = message.payload
+        self.powsim.metrics.sample("propagation_delay").observe(message.latency)
+        validation = self.powsim.config.validation_seconds_per_mb * (
+            block.size_bytes / 1_000_000.0
+        )
+        self.sim.schedule(validation, self._accept_block, block)
+
+    def _accept_block(self, block: Block) -> None:
+        if self.tree.contains(block.hash):
+            return
+        if not self.tree.contains(block.parent_hash):
+            self.orphans[block.parent_hash] = block
+            return
+        self.tree.add(block)
+        self._attach_orphans(block)
+
+    def _attach_orphans(self, parent: Block) -> None:
+        cursor = parent
+        while cursor.hash in self.orphans:
+            child = self.orphans.pop(cursor.hash)
+            if not self.tree.contains(child.hash):
+                self.tree.add(child)
+            cursor = child
+
+    # -- mining ----------------------------------------------------------
+    def mine_block(self) -> Block:
+        """Create a block extending this miner's current head."""
+        return self.powsim.create_block(self.spec, self.tree.head)
+
+
+class PoWNetwork:
+    """Builds and runs the proof-of-work network."""
+
+    def __init__(self, config: Optional[PoWNetworkConfig] = None) -> None:
+        self.config = config or PoWNetworkConfig()
+        self.rng = SeededRNG(self.config.seed)
+        self.sim = Simulator()
+        params = self.config.network_params or NetworkParams(
+            base_latency=0.1,
+            inter_region_latency=0.25,
+            bandwidth_bps=10_000_000.0,
+            latency_jitter=0.3,
+        )
+        self.network = Network(self.sim, params, rng=self.rng.fork("net"))
+        self.metrics = MetricsRegistry()
+        self.genesis = Block.genesis()
+        self.global_tree = BlockTree(self.genesis)
+
+        protocol = self.config.protocol
+        self.miner_specs = self.config.build_miners(self.rng)
+        total_hashrate = sum(spec.hashrate for spec in self.miner_specs)
+        self.difficulty = DifficultyAdjuster(
+            target_interval=protocol.target_block_interval,
+            retarget_window=protocol.retarget_window,
+            initial_hashrate=total_hashrate,
+        )
+        self.nodes: Dict[str, _MinerNode] = {}
+        self.mining: Dict[str, MiningProcess] = {}
+        for spec in self.miner_specs:
+            node = _MinerNode(spec, self.sim, self.network, self)
+            self.nodes[spec.name] = node
+            self.mining[spec.name] = MiningProcess(
+                self.sim,
+                spec,
+                self.rng.fork(f"mine:{spec.name}"),
+                lambda: self.difficulty.difficulty,
+                self._on_block_found,
+            )
+
+        # Fluid transaction backlog: FIFO cohorts of (arrival time, remaining count).
+        self.backlog: Deque[List[float]] = deque()
+        self.backlog_total = 0.0
+        self.confirmation_latencies = Sample("confirmation_latency")
+        self.finality_latencies = Sample("finality_latency")
+        self._confirmed_transactions = 0.0
+        self._main_chain_blocks = 0
+        self._started = False
+        self._finished_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Transaction workload (fluid)
+    # ------------------------------------------------------------------
+    def _transaction_tick(self, interval: float) -> None:
+        arrivals = self.config.tx_arrival_rate * interval
+        if arrivals > 0:
+            self.backlog.append([self.sim.now, arrivals])
+            self.backlog_total += arrivals
+        self.sim.schedule(interval, self._transaction_tick, interval)
+
+    def _take_transactions(self, count: int) -> Tuple[float, List[Tuple[float, float]]]:
+        """Draw up to ``count`` transactions FIFO from the backlog.
+
+        Returns the number actually taken and the (arrival time, count)
+        cohorts consumed, so confirmation latency can be recorded when the
+        containing block is buried deep enough.
+        """
+        taken = 0.0
+        cohorts: List[Tuple[float, float]] = []
+        while self.backlog and taken < count:
+            cohort = self.backlog[0]
+            available = cohort[1]
+            need = count - taken
+            used = min(available, need)
+            cohorts.append((cohort[0], used))
+            cohort[1] -= used
+            taken += used
+            if cohort[1] <= 1e-9:
+                self.backlog.popleft()
+        self.backlog_total -= taken
+        return taken, cohorts
+
+    # ------------------------------------------------------------------
+    # Block creation and dissemination
+    # ------------------------------------------------------------------
+    def create_block(self, miner: MinerSpec, parent: Block) -> Block:
+        """Assemble a block of pending transactions on top of ``parent``."""
+        protocol = self.config.protocol
+        taken, cohorts = self._take_transactions(protocol.max_txs_per_block)
+        block = Block.create(
+            parent=parent,
+            miner=miner.name,
+            timestamp=self.sim.now,
+            transactions=[],
+            difficulty=self.difficulty.difficulty,
+        )
+        # Attach the fluid payload as metadata used by the result accounting.
+        block.fluid_tx_count = taken
+        block.fluid_cohorts = cohorts
+        block.fluid_bytes = int(taken * protocol.avg_tx_bytes)
+        return block
+
+    def _block_size(self, block: Block) -> int:
+        return block.header_bytes + getattr(block, "fluid_bytes", 0)
+
+    def _on_block_found(self, miner: MinerSpec) -> None:
+        node = self.nodes[miner.name]
+        block = node.mine_block()
+        node.tree.add(block)
+        self.metrics.counter("blocks_mined").increment()
+        self._record_global(block)
+        # Broadcast to every other miner (pools are densely connected).
+        for other in self.nodes.values():
+            if other.node_id == node.node_id:
+                continue
+            self.network.send(
+                node.node_id, other.node_id, "block", block, size_bytes=self._block_size(block)
+            )
+
+    def _record_global(self, block: Block) -> None:
+        if self.global_tree.contains(block.hash) or not self.global_tree.contains(
+            block.parent_hash
+        ):
+            return
+        became_head = self.global_tree.add(block)
+        if became_head:
+            self._main_chain_blocks = self.global_tree.head.height
+            retargeted = self.difficulty.record_block(block.timestamp)
+            if retargeted:
+                for process in self.mining.values():
+                    process.reschedule()
+            self._account_confirmations()
+            if (
+                self.config.duration_blocks
+                and self._main_chain_blocks >= self.config.duration_blocks
+                and self._finished_at is None
+            ):
+                self._finished_at = self.sim.now
+                self._stop_all()
+
+    def _account_confirmations(self) -> None:
+        """Record confirmation/finality latencies for newly-buried blocks."""
+        finality_depth = self.config.protocol.confirmations_for_finality
+        main = self.global_tree.main_chain()
+        head_height = self.global_tree.head.height
+        for block in main:
+            if getattr(block, "fluid_final_accounted", False):
+                continue
+            depth = head_height - block.height + 1
+            if depth < 1:
+                continue
+            cohorts = getattr(block, "fluid_cohorts", [])
+            if not getattr(block, "fluid_conf_accounted", False):
+                for arrival, count in cohorts:
+                    latency = block.timestamp - arrival
+                    if latency >= 0:
+                        self.confirmation_latencies.observe(latency)
+                        self._confirmed_transactions += count
+                block.fluid_conf_accounted = True
+            if depth >= finality_depth:
+                for arrival, count in cohorts:
+                    finality_time = self.global_tree.head.timestamp - arrival
+                    if finality_time >= 0:
+                        self.finality_latencies.observe(finality_time)
+                block.fluid_final_accounted = True
+
+    def _stop_all(self) -> None:
+        for process in self.mining.values():
+            process.stop()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, max_sim_time: Optional[float] = None) -> PoWNetworkResult:
+        """Run until ``duration_blocks`` main-chain blocks exist (or time out)."""
+        if not self._started:
+            self._started = True
+            tick = max(1.0, self.config.protocol.target_block_interval / 10.0)
+            self.sim.schedule(0.0, self._transaction_tick, tick)
+            for process in self.mining.values():
+                process.start()
+        horizon = max_sim_time or (
+            self.config.duration_blocks * self.config.protocol.target_block_interval * 4.0
+        )
+        self.sim.run(until=horizon)
+        return self.result()
+
+    def result(self) -> PoWNetworkResult:
+        """Aggregate the run into a :class:`PoWNetworkResult`."""
+        stats = self.global_tree.stats()
+        duration = self._finished_at or self.sim.now
+        main = self.global_tree.main_chain()
+        confirmed = sum(getattr(block, "fluid_tx_count", 0.0) for block in main)
+        blocks_by_miner: Dict[str, int] = {}
+        for block in main[1:]:
+            blocks_by_miner[block.miner] = blocks_by_miner.get(block.miner, 0) + 1
+        propagation = self.metrics.sample("propagation_delay")
+        return PoWNetworkResult(
+            protocol=self.config.protocol.name,
+            duration=duration,
+            chain=stats,
+            throughput_tps=confirmed / duration if duration > 0 else 0.0,
+            offered_load_tps=self.config.tx_arrival_rate,
+            capacity_tps=self.config.protocol.capacity_tps,
+            mean_confirmation_latency=self.confirmation_latencies.mean(),
+            p90_confirmation_latency=self.confirmation_latencies.percentile(90),
+            mean_finality_latency=self.finality_latencies.mean(),
+            stale_rate=stats.stale_rate,
+            mean_block_interval=stats.mean_interblock_time,
+            blocks_by_miner=blocks_by_miner,
+            backlog_transactions=self.backlog_total,
+            mean_propagation_delay=propagation.mean(),
+        )

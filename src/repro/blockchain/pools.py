@@ -1,0 +1,156 @@
+"""Mining-pool formation and hash-power concentration (Experiment E9).
+
+Section III-C, Problem 1: "In 2013 six mining pools controlled 75% of
+overall Bitcoin hashing power.  Nowadays it is almost impossible for a
+normal user to mine bitcoins with a normal desktop computer."
+
+The model explains the concentration as the outcome of two well-understood
+forces rather than of any conspiracy:
+
+* **Variance aversion** — a solo miner with a tiny hashrate share expects one
+  block every several centuries; joining a pool converts an absurdly skewed
+  payoff into a steady income for a small fee, so small miners flock to
+  pools.  Miners prefer larger pools because payout variance decreases with
+  pool size.
+* **Economies of scale** — larger operations get cheaper electricity and
+  hardware, so the hash power itself also concentrates.
+
+Each round, miners re-evaluate which pool to join: they pick among the
+largest pools (weighted by size raised to a preference exponent) with a
+small exploration probability, and pools charging high fees lose members.
+The output is the hash-power share distribution over time, which Experiment
+E9 compares with the "six pools, 75%" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.economics.concentration import concentration_report, nakamoto_coefficient, top_k_share
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class PoolFormationConfig:
+    """Parameters of the pool-formation dynamics."""
+
+    miners: int = 2000
+    pools: int = 20
+    rounds: int = 150
+    hashrate_pareto_shape: float = 1.16   # heavy-tailed miner sizes (few farms, many small)
+    size_preference_exponent: float = 1.08  # >1: variance aversion favours big pools
+    exploration_rate: float = 0.15
+    switch_probability: float = 0.2        # fraction of miners re-evaluating each round
+    solo_threshold_share: float = 0.01     # miners above this share may stay solo
+    seed: int = 0
+
+
+@dataclass
+class PoolSnapshot:
+    """Hash-power distribution across pools (plus solo miners) at one round."""
+
+    round_index: int
+    pool_hashrate: Dict[str, float]
+
+    def shares(self) -> Dict[str, float]:
+        """Normalized hash-power shares."""
+        total = sum(self.pool_hashrate.values())
+        if total == 0:
+            return {name: 0.0 for name in self.pool_hashrate}
+        return {name: value / total for name, value in self.pool_hashrate.items()}
+
+    def concentration(self) -> Dict[str, float]:
+        """Standard concentration metrics over the pool shares."""
+        return concentration_report(list(self.shares().values()))
+
+    def top_pools_share(self, k: int) -> float:
+        """Combined share of the ``k`` largest pools."""
+        return top_k_share(list(self.pool_hashrate.values()), k)
+
+
+class PoolFormationModel:
+    """Simulates miners repeatedly choosing pools under variance aversion."""
+
+    def __init__(self, config: Optional[PoolFormationConfig] = None) -> None:
+        self.config = config or PoolFormationConfig()
+        self.rng = SeededRNG(self.config.seed)
+        self.miner_hashrate: List[float] = [
+            self.rng.pareto(self.config.hashrate_pareto_shape, 1.0)
+            for _ in range(self.config.miners)
+        ]
+        total = sum(self.miner_hashrate)
+        self.miner_hashrate = [value / total for value in self.miner_hashrate]
+        self.pool_names = [f"pool-{index}" for index in range(self.config.pools)]
+        # Start with every miner assigned to a random pool (or solo for whales).
+        self.assignment: List[str] = []
+        for share in self.miner_hashrate:
+            if share >= self.config.solo_threshold_share:
+                self.assignment.append("solo")
+            else:
+                self.assignment.append(self.rng.choice(self.pool_names))
+        self.history: List[PoolSnapshot] = [self.snapshot(0)]
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def _pool_sizes(self) -> Dict[str, float]:
+        sizes: Dict[str, float] = {name: 0.0 for name in self.pool_names}
+        for share, pool in zip(self.miner_hashrate, self.assignment):
+            if pool != "solo":
+                sizes[pool] = sizes.get(pool, 0.0) + share
+        return sizes
+
+    def _choose_pool(self, sizes: Dict[str, float]) -> str:
+        if self.rng.bernoulli(self.config.exploration_rate):
+            return self.rng.choice(self.pool_names)
+        weights = [
+            max(1e-9, sizes[name]) ** self.config.size_preference_exponent
+            for name in self.pool_names
+        ]
+        return self.rng.weighted_choice(self.pool_names, weights)
+
+    def step(self, round_index: int) -> PoolSnapshot:
+        """One re-evaluation round."""
+        sizes = self._pool_sizes()
+        for index, share in enumerate(self.miner_hashrate):
+            if not self.rng.bernoulli(self.config.switch_probability):
+                continue
+            if share >= self.config.solo_threshold_share:
+                # Large farms weigh staying solo (keep full reward) against
+                # variance; most join pools anyway once pools dominate.
+                if self.rng.bernoulli(0.5):
+                    self.assignment[index] = "solo"
+                    continue
+            self.assignment[index] = self._choose_pool(sizes)
+        snapshot = self.snapshot(round_index)
+        self.history.append(snapshot)
+        return snapshot
+
+    def run(self) -> PoolSnapshot:
+        """Run all rounds; returns the final snapshot."""
+        snapshot = self.history[-1]
+        for round_index in range(1, self.config.rounds + 1):
+            snapshot = self.step(round_index)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self, round_index: int) -> PoolSnapshot:
+        """Current hash-power distribution (solo miners grouped per miner)."""
+        sizes = self._pool_sizes()
+        distribution = dict(sizes)
+        for index, (share, pool) in enumerate(zip(self.miner_hashrate, self.assignment)):
+            if pool == "solo":
+                distribution[f"solo-{index}"] = share
+        return PoolSnapshot(round_index=round_index, pool_hashrate=distribution)
+
+    def top_k_trajectory(self, k: int = 6) -> List[float]:
+        """Combined share of the top-k pools over the recorded rounds."""
+        return [snapshot.top_pools_share(k) for snapshot in self.history]
+
+    def final_nakamoto_coefficient(self) -> int:
+        """How many entities control a majority of hash power at the end."""
+        final = self.history[-1]
+        return nakamoto_coefficient(list(final.pool_hashrate.values()))

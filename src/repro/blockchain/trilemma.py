@@ -1,0 +1,170 @@
+"""The scalability trilemma (Buterin), operationalized (Experiment E12).
+
+Section III-C, Problem 2: "Ethereum's creator Vitalik Buterin proposed the
+scalability trilemma that states that a blockchain technology can only
+address two of the three challenges: scalability, decentralization, and
+security.  For Buterin, scalability is defined as being able to process
+O(n) > O(c) transactions, where c refers to computational resources ...
+available at each node, and n refers to the total size of the ecosystem."
+
+The module scores concrete protocol designs on the three axes with explicit,
+simple formulas:
+
+* **scalability** — throughput relative to a single node's validation
+  capacity ``c``; >1 means the system processes more than one node could.
+* **decentralization** — how cheap it is to run a validating node
+  (anyone with a consumer machine can participate) and how many independent
+  validators the design admits.
+* **security** — the fraction of total resources an attacker must control to
+  rewrite history or censor, and whether a small committee can be bribed.
+
+Every built-in design maxes out two axes and measurably sacrifices the
+third, which is the claim Experiment E12 tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TrilemmaDesign:
+    """A point in the blockchain design space."""
+
+    name: str
+    validators: int                     # nodes that validate transactions
+    validation_fraction: float          # fraction of all txs each validator processes
+    per_node_capacity_tps: float        # what one validator can process (c)
+    committee_size: Optional[int] = None  # size of the consensus committee, if any
+    attack_threshold: float = 0.5       # fraction of resources to compromise safety
+    node_cost_usd_month: float = 20.0   # cost of running a validator
+    description: str = ""
+
+
+@dataclass
+class TrilemmaScore:
+    """Normalized [0, 1] scores on the three axes plus raw quantities."""
+
+    design: str
+    scalability: float
+    decentralization: float
+    security: float
+    throughput_tps: float
+    throughput_over_c: float
+
+    def weakest_axis(self) -> str:
+        """Which of the three properties this design sacrifices."""
+        axes = {
+            "scalability": self.scalability,
+            "decentralization": self.decentralization,
+            "security": self.security,
+        }
+        return min(axes, key=axes.get)
+
+    def satisfies_all_three(self, threshold: float = 0.6) -> bool:
+        """Whether the design scores above ``threshold`` on every axis."""
+        return (
+            self.scalability >= threshold
+            and self.decentralization >= threshold
+            and self.security >= threshold
+        )
+
+
+def built_in_designs() -> List[TrilemmaDesign]:
+    """The design points the paper's discussion covers."""
+    return [
+        TrilemmaDesign(
+            name="full-broadcast-pow",
+            validators=10_000,
+            validation_fraction=1.0,
+            per_node_capacity_tps=15.0,
+            attack_threshold=0.5,
+            node_cost_usd_month=30.0,
+            description="Bitcoin/Ethereum style: every node validates everything",
+        ),
+        TrilemmaDesign(
+            name="bigger-blocks",
+            validators=300,
+            validation_fraction=1.0,
+            per_node_capacity_tps=2_000.0,
+            attack_threshold=0.5,
+            node_cost_usd_month=1_500.0,
+            description="Raise capacity by requiring datacenter-class validators",
+        ),
+        TrilemmaDesign(
+            name="small-committee-layer2",
+            validators=21,
+            validation_fraction=1.0,
+            per_node_capacity_tps=4_000.0,
+            committee_size=21,
+            attack_threshold=0.34,
+            node_cost_usd_month=2_000.0,
+            description="EOS/Lightning/Plasma style: few operators process traffic",
+        ),
+        TrilemmaDesign(
+            name="sharded",
+            validators=10_000,
+            validation_fraction=1.0 / 64.0,
+            per_node_capacity_tps=15.0,
+            committee_size=128,
+            attack_threshold=0.34,
+            node_cost_usd_month=30.0,
+            description="64-shard design: each node validates one shard only",
+        ),
+    ]
+
+
+def score_design(
+    design: TrilemmaDesign,
+    consumer_node_cost_usd_month: float = 50.0,
+    reference_validators: int = 10_000,
+    consumer_node_capacity_tps: float = 15.0,
+) -> TrilemmaScore:
+    """Score one design on the three axes.
+
+    The scoring formulas are deliberately transparent:
+
+    * throughput = per-node capacity / validation fraction (work sharding);
+    * scalability score saturates at 1 when throughput reaches ~100× what a
+      *consumer-grade* node (Buterin's ``c``) could validate alone;
+    * decentralization combines validator count (vs. a 10k reference) with
+      node affordability (vs. a consumer budget);
+    * security combines the attack threshold with a penalty for small
+      committees (fewer independent parties to corrupt) and for validating
+      only a slice of the state (data-availability / cross-shard risk).
+    """
+    throughput = design.per_node_capacity_tps / design.validation_fraction
+    throughput_over_c = throughput / consumer_node_capacity_tps
+
+    import math
+
+    scalability = min(1.0, math.log10(max(1.0, throughput_over_c)) / 2.0)
+
+    affordability = min(1.0, consumer_node_cost_usd_month / design.node_cost_usd_month)
+    validator_breadth = min(1.0, design.validators / reference_validators)
+    decentralization = 0.5 * affordability + 0.5 * validator_breadth
+
+    security = design.attack_threshold / 0.5
+    if design.committee_size is not None:
+        committee_penalty = min(1.0, design.committee_size / 1000.0)
+        security *= 0.5 + 0.5 * committee_penalty
+    if design.validation_fraction < 1.0:
+        security *= 0.75   # unvalidated slices must be trusted or sampled
+
+    return TrilemmaScore(
+        design=design.name,
+        scalability=round(min(1.0, scalability), 3),
+        decentralization=round(min(1.0, decentralization), 3),
+        security=round(min(1.0, security), 3),
+        throughput_tps=throughput,
+        throughput_over_c=throughput_over_c,
+    )
+
+
+def evaluate_designs(
+    designs: Optional[List[TrilemmaDesign]] = None,
+) -> List[TrilemmaScore]:
+    """Score every design; used by Experiment E12's table."""
+    designs = designs or built_in_designs()
+    return [score_design(design) for design in designs]

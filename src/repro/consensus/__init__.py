@@ -1,0 +1,34 @@
+"""Classical fault-tolerant replication substrates (Section IV).
+
+"Once blockchains are disentangled from cryptocurrencies ..., an old problem
+resurfaces, which has kept busy ranks of researchers for over two decades:
+byzantine fault tolerance."
+
+* :mod:`~repro.consensus.pbft` — PBFT-style three-phase byzantine
+  state-machine replication (the BFT-SMaRt lineage used by permissioned
+  blockchains), with quadratic message complexity and a per-replica CPU
+  model so committee-size scaling can be measured (ablation A2).
+* :mod:`~repro.consensus.raft` — Raft-style crash-fault-tolerant
+  replication (the CFT ordering option in Hyperledger Fabric).
+* :mod:`~repro.consensus.cluster` — a harness that drives either protocol
+  with a client workload and reports throughput/latency, used by the
+  permissioned blockchain of :mod:`repro.permissioned` and Experiment E15.
+"""
+
+from repro.consensus.base import ConsensusMetrics, ReplicaParams
+from repro.consensus.pbft import PBFTCluster, PBFTConfig, PBFTReplica
+from repro.consensus.raft import RaftCluster, RaftConfig, RaftNode
+from repro.consensus.cluster import ConsensusBenchmark, ConsensusBenchmarkConfig
+
+__all__ = [
+    "ConsensusMetrics",
+    "ReplicaParams",
+    "PBFTCluster",
+    "PBFTConfig",
+    "PBFTReplica",
+    "RaftCluster",
+    "RaftConfig",
+    "RaftNode",
+    "ConsensusBenchmark",
+    "ConsensusBenchmarkConfig",
+]

@@ -1,0 +1,52 @@
+"""Market dynamics, concentration metrics, pricing and mining economics.
+
+This subpackage backs the economic arguments in the paper:
+
+* Section I — de-facto centralization of CDN/cloud markets emerges from
+  market dynamics (preferential attachment), not technical bottlenecks
+  (:mod:`repro.economics.market`, :mod:`repro.economics.concentration`).
+* Problem 1 — incentives attract industrial miners and price out ordinary
+  users (:mod:`repro.economics.incentives`).
+* "Great pricing instability and uncertainty" — volatile cryptocurrency
+  pricing versus stable cloud pricing (:mod:`repro.economics.pricing`).
+"""
+
+from repro.economics.concentration import (
+    gini_coefficient,
+    herfindahl_hirschman_index,
+    nakamoto_coefficient,
+    normalize_shares,
+    top_k_share,
+)
+from repro.economics.market import MarketModel, MarketParams, MarketSnapshot
+from repro.economics.pricing import (
+    CloudPricingModel,
+    PriceSeries,
+    TokenPricingModel,
+    compare_cost_stability,
+)
+from repro.economics.incentives import (
+    MinerProfile,
+    MiningEconomics,
+    MiningEconomicsParams,
+    HARDWARE_PROFILES,
+)
+
+__all__ = [
+    "gini_coefficient",
+    "herfindahl_hirschman_index",
+    "nakamoto_coefficient",
+    "normalize_shares",
+    "top_k_share",
+    "MarketModel",
+    "MarketParams",
+    "MarketSnapshot",
+    "CloudPricingModel",
+    "PriceSeries",
+    "TokenPricingModel",
+    "compare_cost_stability",
+    "MinerProfile",
+    "MiningEconomics",
+    "MiningEconomicsParams",
+    "HARDWARE_PROFILES",
+]

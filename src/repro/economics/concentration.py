@@ -1,0 +1,110 @@
+"""Concentration metrics used throughout the reproduction.
+
+The paper's centralization argument is quantitative: ">75% of the CDN market
+is controlled by three providers", "five cloud service providers control
+around 60%", "in 2013 six mining pools controlled 75% of overall Bitcoin
+hashing power".  These functions compute the standard concentration measures
+used to make such statements precise:
+
+* :func:`top_k_share` — combined share of the largest *k* participants.
+* :func:`herfindahl_hirschman_index` — the HHI used by competition
+  regulators (0 = perfectly fragmented, 10,000 = monopoly when expressed in
+  the conventional percentage-points-squared scale).
+* :func:`gini_coefficient` — inequality of the share distribution.
+* :func:`nakamoto_coefficient` — the minimum number of participants whose
+  combined share exceeds a threshold (51% by default); the smaller it is,
+  the more centralized the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Union
+
+Shares = Union[Sequence[float], Mapping[Hashable, float]]
+
+
+def _as_values(shares: Shares) -> List[float]:
+    if isinstance(shares, Mapping):
+        values = [float(value) for value in shares.values()]
+    else:
+        values = [float(value) for value in shares]
+    if any(value < 0 for value in values):
+        raise ValueError("shares must be non-negative")
+    return values
+
+
+def normalize_shares(shares: Shares) -> List[float]:
+    """Return shares rescaled to sum to 1.0 (empty input gives an empty list)."""
+    values = _as_values(shares)
+    total = sum(values)
+    if total == 0:
+        return [0.0 for _ in values]
+    return [value / total for value in values]
+
+
+def top_k_share(shares: Shares, k: int) -> float:
+    """Combined (normalized) share of the ``k`` largest participants."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    normalized = sorted(normalize_shares(shares), reverse=True)
+    return sum(normalized[:k])
+
+
+def herfindahl_hirschman_index(shares: Shares, percentage_points: bool = True) -> float:
+    """Herfindahl–Hirschman index of the share distribution.
+
+    With ``percentage_points=True`` (the convention used by the DoJ/FTC),
+    shares are expressed in percent and the index ranges from ~0 to 10,000.
+    Markets above 2,500 are conventionally called *highly concentrated*.
+    """
+    normalized = normalize_shares(shares)
+    scale = 100.0 if percentage_points else 1.0
+    return sum((value * scale) ** 2 for value in normalized)
+
+
+def gini_coefficient(shares: Shares) -> float:
+    """Gini coefficient of the share distribution (0 = equal, →1 = unequal)."""
+    values = sorted(_as_values(shares))
+    n = len(values)
+    total = sum(values)
+    if n == 0 or total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for index, value in enumerate(values, start=1):
+        cumulative += value
+        weighted += index * value
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def nakamoto_coefficient(shares: Shares, threshold: float = 0.51) -> int:
+    """Minimum number of participants controlling at least ``threshold`` of the total.
+
+    A Nakamoto coefficient of 1 means a single entity can unilaterally control
+    the system; larger is more decentralized.  Returns 0 for an empty input.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    normalized = sorted(normalize_shares(shares), reverse=True)
+    if not normalized or sum(normalized) == 0:
+        return 0
+    cumulative = 0.0
+    for count, value in enumerate(normalized, start=1):
+        cumulative += value
+        if cumulative >= threshold - 1e-12:
+            return count
+    return len(normalized)
+
+
+def concentration_report(shares: Shares) -> Dict[str, float]:
+    """All concentration metrics at once, for experiment tables."""
+    return {
+        "participants": float(len(_as_values(shares))),
+        "top1": top_k_share(shares, 1),
+        "top3": top_k_share(shares, 3),
+        "top5": top_k_share(shares, 5),
+        "top6": top_k_share(shares, 6),
+        "hhi": herfindahl_hirschman_index(shares),
+        "gini": gini_coefficient(shares),
+        "nakamoto": float(nakamoto_coefficient(shares)),
+    }

@@ -1,0 +1,163 @@
+"""Pricing stability: volatile cryptocurrency pricing versus stable cloud pricing.
+
+Problem 1 of Section III-C argues that "given the volatility of
+cryptocurrency valuations, this leads to a situation significantly worse
+than usual commercial cloud based services, by causing great pricing
+instability and uncertainty both for the service consumers, and also the
+resource contributors".
+
+:class:`TokenPricingModel` generates a geometric-Brownian-motion price path
+with the annualized volatility observed for Bitcoin/Ether (60–100%+), while
+:class:`CloudPricingModel` generates the slowly and predictably *declining*
+list price of a cloud commodity (e.g. object storage per GB-month).
+:func:`compare_cost_stability` runs both and reports the cost uncertainty a
+service operator would face when paying for the same resource in tokens
+versus paying a cloud provider.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import mean, stdev
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class PriceSeries:
+    """A generated price path with convenience statistics."""
+
+    name: str
+    prices: List[float]
+    period_days: float = 1.0
+
+    def returns(self) -> List[float]:
+        """Per-period log returns."""
+        result = []
+        for previous, current in zip(self.prices, self.prices[1:]):
+            if previous > 0 and current > 0:
+                result.append(math.log(current / previous))
+        return result
+
+    def annualized_volatility(self) -> float:
+        """Annualized volatility of log returns."""
+        period_returns = self.returns()
+        if len(period_returns) < 2:
+            return 0.0
+        periods_per_year = 365.0 / self.period_days
+        return stdev(period_returns) * math.sqrt(periods_per_year)
+
+    def max_drawdown(self) -> float:
+        """Largest peak-to-trough decline as a fraction of the peak."""
+        peak = -float("inf")
+        worst = 0.0
+        for price in self.prices:
+            peak = max(peak, price)
+            if peak > 0:
+                worst = max(worst, (peak - price) / peak)
+        return worst
+
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation of the price divided by its mean."""
+        mu = mean(self.prices)
+        return stdev(self.prices) / mu if mu > 0 else 0.0
+
+
+@dataclass
+class TokenPricingModel:
+    """Geometric Brownian motion price path for a cryptocurrency token.
+
+    Default volatility (80% annualized) is in the range observed for Bitcoin
+    between 2013 and 2019; drift defaults to zero so experiments measure
+    uncertainty, not speculation.
+    """
+
+    initial_price: float = 1000.0
+    annual_volatility: float = 0.80
+    annual_drift: float = 0.0
+    period_days: float = 1.0
+
+    def generate(self, periods: int = 365, seed: int = 0) -> PriceSeries:
+        """Generate a price path of ``periods`` steps."""
+        rng = SeededRNG(seed)
+        dt = self.period_days / 365.0
+        sigma = self.annual_volatility
+        mu = self.annual_drift
+        prices = [self.initial_price]
+        for _ in range(periods):
+            shock = rng.gauss(0.0, 1.0)
+            growth = math.exp((mu - 0.5 * sigma ** 2) * dt + sigma * math.sqrt(dt) * shock)
+            prices.append(prices[-1] * growth)
+        return PriceSeries("token", prices, self.period_days)
+
+
+@dataclass
+class CloudPricingModel:
+    """Cloud commodity list price: stable, slowly declining, occasionally re-priced.
+
+    Cloud providers publish list prices that change only at discrete
+    re-pricing events (historically a few percent *down* per year for storage
+    and compute).
+    """
+
+    initial_price: float = 0.023          # $/GB-month, S3-standard-like
+    annual_decline: float = 0.05          # average list-price decline per year
+    repricing_interval_days: float = 180.0
+    period_days: float = 1.0
+
+    def generate(self, periods: int = 365, seed: int = 0) -> PriceSeries:
+        """Generate a step-wise declining price path."""
+        rng = SeededRNG(seed)
+        prices = [self.initial_price]
+        current = self.initial_price
+        days_since_reprice = 0.0
+        for _ in range(periods):
+            days_since_reprice += self.period_days
+            if days_since_reprice >= self.repricing_interval_days:
+                fraction_of_year = days_since_reprice / 365.0
+                decline = self.annual_decline * fraction_of_year
+                # Re-pricing is deliberate and bounded; jitter is small.
+                decline *= 1.0 + rng.gauss(0.0, 0.1)
+                current = max(0.0, current * (1.0 - decline))
+                days_since_reprice = 0.0
+            prices.append(current)
+        return PriceSeries("cloud", prices, self.period_days)
+
+
+def compare_cost_stability(
+    periods: int = 730,
+    seed: int = 7,
+    token_model: Optional[TokenPricingModel] = None,
+    cloud_model: Optional[CloudPricingModel] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run both pricing models and report cost-uncertainty metrics.
+
+    The ``volatility_ratio`` entry states how many times more volatile the
+    token-denominated cost is than the cloud list price — the paper's
+    "great pricing instability" claim in one number.
+    """
+    token_model = token_model or TokenPricingModel()
+    cloud_model = cloud_model or CloudPricingModel()
+    token_series = token_model.generate(periods, seed=seed)
+    cloud_series = cloud_model.generate(periods, seed=seed + 1)
+
+    def _metrics(series: PriceSeries) -> Dict[str, float]:
+        return {
+            "annualized_volatility": series.annualized_volatility(),
+            "max_drawdown": series.max_drawdown(),
+            "coefficient_of_variation": series.coefficient_of_variation(),
+        }
+
+    token_metrics = _metrics(token_series)
+    cloud_metrics = _metrics(cloud_series)
+    cloud_cv = cloud_metrics["coefficient_of_variation"]
+    ratio = (
+        token_metrics["coefficient_of_variation"] / cloud_cv if cloud_cv > 0 else float("inf")
+    )
+    return {
+        "token": token_metrics,
+        "cloud": cloud_metrics,
+        "comparison": {"volatility_ratio": ratio},
+    }

@@ -1,0 +1,183 @@
+"""Service placement: centralized cloud versus edge-centric federation.
+
+This module turns Figure 1 of the paper into a measured comparison.  A
+latency-sensitive service (the "intelligent decisions and actuations" of the
+edge-centric vision) is exercised by requests from end devices under three
+placements:
+
+* ``cloud-only`` — every request travels to the central cloud, which also
+  holds all data and trust (the left side of Figure 1);
+* ``edge-centric`` — requests are served by the organization's own edge
+  site, falling back to the regional cloud for overflow, while a
+  permissioned blockchain among the federation's organizations provides the
+  decentralized trust (the right side of Figure 1);
+* ``regional-cloud`` — an intermediate point: in-region datacenters.
+
+Besides request latency, the comparison reports *trust decentralization*
+(the Nakamoto coefficient over the entities that must be trusted for the
+service to operate and audit correctly) and *control locality* (fraction of
+requests whose data never leaves the owning organization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import describe
+from repro.economics.concentration import nakamoto_coefficient
+from repro.edge.topology import EdgeTopology, Site
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class PlacementStrategy:
+    """Named placement behaviour."""
+
+    name: str
+    overflow_probability: float = 0.05      # chance an edge site must defer to the cloud
+
+    @classmethod
+    def cloud_only(cls) -> "PlacementStrategy":
+        """Everything served from (and trusted to) the central cloud."""
+        return cls(name="cloud-only", overflow_probability=0.0)
+
+    @classmethod
+    def regional_cloud(cls) -> "PlacementStrategy":
+        """Everything served from the in-region cloud datacenter."""
+        return cls(name="regional-cloud", overflow_probability=0.0)
+
+    @classmethod
+    def edge_centric(cls, overflow_probability: float = 0.05) -> "PlacementStrategy":
+        """Served at the organization's edge, cloud used only for overflow."""
+        return cls(name="edge-centric", overflow_probability=overflow_probability)
+
+
+@dataclass
+class PlacementResult:
+    """Measured behaviour of one placement strategy."""
+
+    strategy: str
+    latencies: List[float]
+    trust_entities: Dict[str, float]
+    local_requests: int
+    total_requests: int
+
+    @property
+    def p50_latency(self) -> float:
+        """Median request latency (seconds)."""
+        return describe(self.latencies)["p50"]
+
+    @property
+    def p99_latency(self) -> float:
+        """Tail request latency (seconds)."""
+        return describe(self.latencies)["p99"]
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean request latency (seconds)."""
+        return describe(self.latencies)["mean"]
+
+    @property
+    def trust_nakamoto(self) -> int:
+        """How many independent entities must collude to subvert the service."""
+        return nakamoto_coefficient(self.trust_entities)
+
+    @property
+    def control_locality(self) -> float:
+        """Fraction of requests whose data stayed inside the owning organization."""
+        return self.local_requests / self.total_requests if self.total_requests else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for Experiment E16's table."""
+        return {
+            "strategy": self.strategy,
+            "p50_latency_ms": self.p50_latency * 1000.0,
+            "p99_latency_ms": self.p99_latency * 1000.0,
+            "mean_latency_ms": self.mean_latency * 1000.0,
+            "trust_nakamoto": float(self.trust_nakamoto),
+            "control_locality": self.control_locality,
+        }
+
+
+@dataclass
+class PlacementComparison:
+    """Results of all strategies over the same workload."""
+
+    results: Dict[str, PlacementResult]
+
+    def speedup(self, baseline: str = "cloud-only", candidate: str = "edge-centric") -> float:
+        """How many times lower the candidate's median latency is."""
+        base = self.results[baseline].p50_latency
+        cand = self.results[candidate].p50_latency
+        return base / cand if cand > 0 else float("inf")
+
+
+def _request_latency(
+    topology: EdgeTopology,
+    device: Site,
+    strategy: PlacementStrategy,
+    rng: SeededRNG,
+) -> (float, bool):
+    """One request's round-trip latency and whether data stayed local."""
+    if strategy.name == "cloud-only":
+        target = topology.central()
+        local = False
+    elif strategy.name == "regional-cloud":
+        target = topology.nearest_regional(device)
+        local = False
+    else:
+        if rng.bernoulli(strategy.overflow_probability):
+            target = topology.nearest_regional(device)
+            local = False
+        else:
+            target = topology.edge_site_of(device.organization)
+            local = True
+    one_way = topology.latency(device, target)
+    service_time = 0.002
+    return 2.0 * one_way + service_time, local
+
+
+def _trust_entities(topology: EdgeTopology, strategy: PlacementStrategy) -> Dict[str, float]:
+    """Who must be trusted for the service to run and be audited honestly."""
+    if strategy.name in ("cloud-only", "regional-cloud"):
+        return {"cloud-provider": 1.0}
+    organizations = topology.organizations()
+    share = 1.0 / len(organizations) if organizations else 1.0
+    entities = {org: share for org in organizations}
+    return entities
+
+
+def compare_placements(
+    topology: Optional[EdgeTopology] = None,
+    strategies: Optional[List[PlacementStrategy]] = None,
+    requests: int = 2000,
+    seed: int = 0,
+) -> PlacementComparison:
+    """Run the same device workload under every strategy (Experiment E16)."""
+    topology = topology or EdgeTopology()
+    strategies = strategies or [
+        PlacementStrategy.cloud_only(),
+        PlacementStrategy.regional_cloud(),
+        PlacementStrategy.edge_centric(),
+    ]
+    rng = SeededRNG(seed)
+    device_choices = [rng.choice(topology.devices) for _ in range(requests)]
+    results: Dict[str, PlacementResult] = {}
+    for strategy in strategies:
+        strategy_rng = SeededRNG(seed + 1)
+        latencies: List[float] = []
+        local_count = 0
+        for device in device_choices:
+            latency, local = _request_latency(topology, device, strategy, strategy_rng)
+            latencies.append(latency)
+            if local:
+                local_count += 1
+        results[strategy.name] = PlacementResult(
+            strategy=strategy.name,
+            latencies=latencies,
+            trust_entities=_trust_entities(topology, strategy),
+            local_requests=local_count,
+            total_requests=requests,
+        )
+    return PlacementComparison(results=results)

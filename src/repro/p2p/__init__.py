@@ -1,0 +1,75 @@
+"""Open peer-to-peer overlays and their failure modes (Section II of the paper).
+
+The subpackage implements the systems the paper's historical review is
+about, plus the attack and incentive models behind its "four problems":
+
+* Structured overlays: :mod:`~repro.p2p.kademlia` (Kademlia/KAD/Mainline
+  style), :mod:`~repro.p2p.chord` (Chord), and :mod:`~repro.p2p.onehop`
+  (full-membership one-hop overlays, Gupta/Liskov style).
+* Unstructured overlays: :mod:`~repro.p2p.unstructured` (Gnutella flooding)
+  and :mod:`~repro.p2p.superpeer` (Kazaa/eDonkey-style two-tier overlays).
+* Problem 1 (free riding / incentives): :mod:`~repro.p2p.freeriding` and
+  :mod:`~repro.p2p.bittorrent` (tit-for-tat).
+* Problem 2 (churn and performance): :mod:`~repro.p2p.lookup` measures
+  lookup latency/failure under the churn models of :mod:`repro.sim.churn`.
+* Problem 3 (security of open membership): :mod:`~repro.p2p.sybil`.
+"""
+
+from repro.p2p.identifiers import (
+    ID_BITS,
+    ID_SPACE,
+    key_for,
+    random_id,
+    ring_distance,
+    xor_distance,
+)
+from repro.p2p.kademlia import KademliaConfig, KademliaNetwork, KademliaNode, LookupResult
+from repro.p2p.chord import ChordNetwork, ChordNode
+from repro.p2p.unstructured import GnutellaConfig, GnutellaNetwork, QueryOutcome
+from repro.p2p.superpeer import SuperpeerConfig, SuperpeerNetwork
+from repro.p2p.onehop import OneHopConfig, OneHopOverlay, OverlayCostModel
+from repro.p2p.sybil import SybilAttackConfig, SybilAttackResult, run_sybil_attack
+from repro.p2p.freeriding import (
+    ContributionModel,
+    FreeRidingReport,
+    GNUTELLA_2000_REFERENCE,
+    analyze_contributions,
+)
+from repro.p2p.bittorrent import SwarmConfig, SwarmResult, TitForTatSwarm
+from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig, LookupStats
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "key_for",
+    "random_id",
+    "ring_distance",
+    "xor_distance",
+    "KademliaConfig",
+    "KademliaNetwork",
+    "KademliaNode",
+    "LookupResult",
+    "ChordNetwork",
+    "ChordNode",
+    "GnutellaConfig",
+    "GnutellaNetwork",
+    "QueryOutcome",
+    "SuperpeerConfig",
+    "SuperpeerNetwork",
+    "OneHopConfig",
+    "OneHopOverlay",
+    "OverlayCostModel",
+    "SybilAttackConfig",
+    "SybilAttackResult",
+    "run_sybil_attack",
+    "ContributionModel",
+    "FreeRidingReport",
+    "GNUTELLA_2000_REFERENCE",
+    "analyze_contributions",
+    "SwarmConfig",
+    "SwarmResult",
+    "TitForTatSwarm",
+    "LookupExperiment",
+    "LookupExperimentConfig",
+    "LookupStats",
+]

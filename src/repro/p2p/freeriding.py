@@ -1,0 +1,150 @@
+"""Free riding in open P2P networks (Experiment E4, first half).
+
+Section II-B, Problem 1: "users minimize their time connected until
+obtaining what they want ... This is called free riding, an issue that was
+extensively reported in the Gnutella overlay [21]".  Adar & Huberman's
+measurement found that roughly 70% of Gnutella peers shared no files and
+that the top 1% of peers served about 37% of all files (top 25% served ~98%).
+
+:class:`ContributionModel` generates per-peer contribution profiles with a
+configurable free-rider fraction and a heavy-tailed (Pareto) distribution of
+shared files among contributors, then :func:`analyze_contributions` produces
+the same statistics the measurement papers report so Experiment E4 can check
+the shape against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.economics.concentration import gini_coefficient, top_k_share
+from repro.sim.rng import SeededRNG
+
+#: The headline numbers from Adar & Huberman, "Free Riding on Gnutella" (2000),
+#: used as the reference shape for Experiment E4.
+GNUTELLA_2000_REFERENCE: Dict[str, float] = {
+    "free_rider_fraction": 0.70,
+    "top_1pct_share_of_files": 0.37,
+    "top_25pct_share_of_files": 0.98,
+}
+
+
+@dataclass
+class ContributionModel:
+    """Generative model of per-peer sharing behaviour in an open overlay.
+
+    Attributes
+    ----------
+    peers:
+        Number of peers in the overlay.
+    free_rider_fraction:
+        Fraction of peers that share nothing at all.
+    pareto_shape:
+        Shape of the Pareto distribution of files shared by contributors
+        (smaller = heavier tail = more concentration among top sharers).
+    mean_files_per_contributor:
+        Average number of files shared by a contributing peer.
+    altruist_fraction:
+        Small fraction of peers that also serve queries/uploads even with no
+        direct incentive (the "SETI@home exceptions" the paper mentions).
+    """
+
+    peers: int = 10_000
+    free_rider_fraction: float = 0.66
+    pareto_shape: float = 1.1
+    mean_files_per_contributor: float = 340.0
+    altruist_fraction: float = 0.01
+
+    def generate(self, seed: int = 0) -> List[float]:
+        """Per-peer shared-file counts (0 for free riders)."""
+        if not 0.0 <= self.free_rider_fraction <= 1.0:
+            raise ValueError("free rider fraction must be in [0, 1]")
+        rng = SeededRNG(seed)
+        contributions: List[float] = []
+        # Pareto with the configured shape, scaled so the mean matches.
+        shape = self.pareto_shape
+        scale = (
+            self.mean_files_per_contributor * (shape - 1.0) / shape
+            if shape > 1.0
+            else self.mean_files_per_contributor * 0.2
+        )
+        for _ in range(self.peers):
+            if rng.bernoulli(self.free_rider_fraction):
+                contributions.append(0.0)
+            else:
+                contributions.append(rng.pareto(shape, scale))
+        return contributions
+
+
+@dataclass
+class FreeRidingReport:
+    """Statistics over a contribution distribution."""
+
+    peers: int
+    free_rider_fraction: float
+    top_1pct_share: float
+    top_10pct_share: float
+    top_25pct_share: float
+    gini: float
+    mean_contribution: float
+
+    def matches_reference(
+        self,
+        reference: Optional[Dict[str, float]] = None,
+        tolerance: float = 0.15,
+    ) -> bool:
+        """Whether this distribution matches the published Gnutella shape."""
+        reference = reference or GNUTELLA_2000_REFERENCE
+        checks = [
+            abs(self.free_rider_fraction - reference["free_rider_fraction"]) <= tolerance,
+            self.top_1pct_share >= reference["top_1pct_share_of_files"] - tolerance,
+            self.top_25pct_share >= reference["top_25pct_share_of_files"] - tolerance,
+        ]
+        return all(checks)
+
+
+def analyze_contributions(contributions: List[float]) -> FreeRidingReport:
+    """Compute the free-riding statistics the measurement literature reports."""
+    peers = len(contributions)
+    if peers == 0:
+        raise ValueError("need at least one peer")
+    free_riders = sum(1 for value in contributions if value <= 0)
+    top1 = max(1, peers // 100)
+    top10 = max(1, peers // 10)
+    top25 = max(1, peers // 4)
+    return FreeRidingReport(
+        peers=peers,
+        free_rider_fraction=free_riders / peers,
+        top_1pct_share=top_k_share(contributions, top1),
+        top_10pct_share=top_k_share(contributions, top10),
+        top_25pct_share=top_k_share(contributions, top25),
+        gini=gini_coefficient(contributions),
+        mean_contribution=sum(contributions) / peers,
+    )
+
+
+def incentive_sensitivity(
+    incentive_levels: List[float],
+    base_free_rider_fraction: float = 0.85,
+    elasticity: float = 0.75,
+    peers: int = 5000,
+    seed: int = 0,
+) -> List[FreeRidingReport]:
+    """Free-riding as a function of incentive strength.
+
+    ``incentive_levels`` are abstract values in [0, 1]: 0 means no incentive
+    to contribute (pure altruism), 1 means contribution is strictly required
+    to consume (BitTorrent-during-download-like).  The free-rider fraction
+    declines with incentives according to the elasticity; this is the simple
+    monotone relation behind the paper's claim that "if the overlay does not
+    provide enough incentives, the network can suffer free riding".
+    """
+    reports = []
+    for level in incentive_levels:
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("incentive levels must be in [0, 1]")
+        fraction = base_free_rider_fraction * (1.0 - elasticity * level)
+        model = ContributionModel(peers=peers, free_rider_fraction=fraction)
+        reports.append(analyze_contributions(model.generate(seed=seed)))
+    return reports

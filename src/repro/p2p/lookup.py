@@ -1,0 +1,178 @@
+"""Lookup-latency experiments over the Kademlia simulator (Experiments E2 and E5).
+
+The harness builds a Kademlia network, optionally runs a churn process over
+it, issues a stream of lookups from random online peers towards random
+targets, and reports the latency/failure statistics that the paper quotes
+from Jiménez et al. [20]: "lookups were performed within 5 seconds 90% of
+the time in Emule's Kad, but the median lookup time was around a minute in
+both BitTorrent DHTs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.p2p.identifiers import random_id
+from repro.p2p.kademlia import KademliaConfig, KademliaNetwork, LookupResult
+from repro.sim.churn import ChurnModel, ChurnProcess
+from repro.sim.metrics import Sample
+from repro.sim.network import NetworkParams
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class LookupExperimentConfig:
+    """Parameters of one lookup-latency experiment."""
+
+    network_size: int = 600
+    lookups: int = 300
+    lookup_interval: float = 2.0
+    kademlia: KademliaConfig = field(default_factory=KademliaConfig.kad_like)
+    churn: Optional[ChurnModel] = None
+    network_params: Optional[NetworkParams] = None
+    warmup: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def kad_scenario(cls, **overrides) -> "LookupExperimentConfig":
+        """eMule-KAD-like scenario: responsive clients, moderate churn."""
+        defaults = dict(
+            kademlia=KademliaConfig.kad_like(),
+            churn=ChurnModel.kad_like(),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def mainline_scenario(cls, **overrides) -> "LookupExperimentConfig":
+        """BitTorrent-Mainline-like scenario: stale tables, conservative timeouts."""
+        defaults = dict(
+            kademlia=KademliaConfig.mainline_like(),
+            churn=ChurnModel.bittorrent_like(),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class LookupStats:
+    """Aggregated outcome of a lookup experiment."""
+
+    latencies: Sample
+    failures: int
+    lookups: int
+    timeouts_per_lookup: float
+    hops_per_lookup: float
+    routing_staleness: float
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of lookups that did not complete successfully."""
+        return self.failures / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for tables: median/p90 latency, failure rate, hops."""
+        return {
+            "lookups": float(self.lookups),
+            "median_latency_s": self.latencies.median(),
+            "p90_latency_s": self.latencies.percentile(90),
+            "p99_latency_s": self.latencies.percentile(99),
+            "mean_latency_s": self.latencies.mean(),
+            "failure_rate": self.failure_rate,
+            "timeouts_per_lookup": self.timeouts_per_lookup,
+            "hops_per_lookup": self.hops_per_lookup,
+            "routing_staleness": self.routing_staleness,
+            "fraction_within_5s": self.latencies.fraction_below(5.0),
+        }
+
+
+class LookupExperiment:
+    """Builds the network, applies churn and issues the lookup workload."""
+
+    def __init__(self, config: Optional[LookupExperimentConfig] = None) -> None:
+        self.config = config or LookupExperimentConfig()
+        self.rng = SeededRNG(self.config.seed)
+        self.dht = KademliaNetwork(
+            size=self.config.network_size,
+            config=self.config.kademlia,
+            network_params=self.config.network_params,
+            seed=self.config.seed,
+        )
+        self.results: List[LookupResult] = []
+        self.churn_process: Optional[ChurnProcess] = None
+        if self.config.churn is not None:
+            self.churn_process = ChurnProcess(
+                self.dht.sim,
+                self.dht.node_ids(),
+                self.config.churn,
+                rng=self.rng.fork("churn"),
+                on_join=lambda node_id: self.dht.set_node_online(node_id, True),
+                on_leave=lambda node_id: self.dht.set_node_online(node_id, False),
+                steady_state_init=True,
+            )
+            # Reflect the steady-state membership in node availability before
+            # any lookups are issued.
+            for node_id, online in self.churn_process.online.items():
+                self.dht.set_node_online(node_id, online)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> LookupStats:
+        """Run the configured number of lookups and return aggregate statistics."""
+        sim = self.dht.sim
+        if self.churn_process is not None:
+            self.churn_process.start()
+            # Bring routing tables to their churn equilibrium before measuring.
+            self.dht.warm_up(passes=3)
+        self.dht.start_maintenance()
+        if self.config.warmup > 0:
+            sim.run(until=sim.now + self.config.warmup)
+
+        issued = {"count": 0}
+
+        def _issue_next() -> None:
+            if issued["count"] >= self.config.lookups:
+                return
+            issued["count"] += 1
+            online = self.dht.online_nodes()
+            if online:
+                origin = self.rng.choice(online)
+                target = random_id(self.rng)
+                self.dht.lookup(origin.node_id, target, self.results.append)
+            sim.schedule(self.config.lookup_interval, _issue_next)
+
+        sim.schedule(0.0, _issue_next)
+        # Allow enough virtual time for every lookup (each can take many
+        # timeout rounds) before cutting the run off.
+        horizon = (
+            self.config.lookups * self.config.lookup_interval
+            + 50 * self.config.kademlia.rpc_timeout
+            + 600.0
+        )
+        sim.run(until=sim.now + horizon)
+        return self.stats()
+
+    def stats(self) -> LookupStats:
+        """Aggregate the lookups completed so far."""
+        latencies = Sample("lookup_latency")
+        failures = 0
+        timeouts = 0
+        hops = 0
+        for result in self.results:
+            if result.success:
+                latencies.observe(result.latency)
+            else:
+                failures += 1
+            timeouts += result.timeouts
+            hops += result.hops
+        count = len(self.results)
+        return LookupStats(
+            latencies=latencies,
+            failures=failures,
+            lookups=count,
+            timeouts_per_lookup=timeouts / count if count else 0.0,
+            hops_per_lookup=hops / count if count else 0.0,
+            routing_staleness=self.dht.routing_table_staleness(),
+        )

@@ -1,0 +1,167 @@
+"""Superpeer (two-tier) overlays, Kazaa/eDonkey/Skype style.
+
+Section II: "Superpeer overlays solved the problem including a layer with
+more stable peers that boosted the overall performance. Many systems like
+Kazaa, eMule, eDonkey or even Skype relied on such superpeer architecture."
+
+The model captures the essential trade: leaf peers attach to a small set of
+stable superpeers that index their content, so queries touch only the
+superpeer tier (typically 1–2 hops) instead of flooding the whole overlay.
+The cost is that the superpeer tier is a partial re-centralization — which
+is exactly the paper's narrative about every scaling fix pulling systems
+back towards the centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.economics.concentration import nakamoto_coefficient, top_k_share
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class SuperpeerConfig:
+    """Two-tier overlay parameters."""
+
+    leaves: int = 2000
+    superpeers: int = 40
+    leaves_per_superpeer: int = 100
+    superpeer_neighbors: int = 6
+    objects: int = 1000
+    replicas_per_object: int = 8
+    hop_latency_mean: float = 0.08
+
+
+@dataclass
+class SuperpeerQueryResult:
+    """Outcome of one query routed through the superpeer tier."""
+
+    found: bool
+    hops: int
+    latency: float
+    superpeers_contacted: int
+
+
+class SuperpeerNetwork:
+    """Leaves attach to superpeers; superpeers flood among themselves only."""
+
+    def __init__(self, config: Optional[SuperpeerConfig] = None, seed: int = 0) -> None:
+        self.config = config or SuperpeerConfig()
+        if self.config.superpeers < 1:
+            raise ValueError("need at least one superpeer")
+        self.rng = SeededRNG(seed)
+        self.superpeer_ids = list(range(self.config.superpeers))
+        self.leaf_ids = list(
+            range(self.config.superpeers, self.config.superpeers + self.config.leaves)
+        )
+        self.attachment: Dict[int, int] = {}
+        self._attach_leaves()
+        self.superpeer_links: Dict[int, Set[int]] = {sp: set() for sp in self.superpeer_ids}
+        self._link_superpeers()
+        self.index: Dict[int, Dict[int, Set[int]]] = {sp: {} for sp in self.superpeer_ids}
+        self._place_objects()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _attach_leaves(self) -> None:
+        loads = {sp: 0 for sp in self.superpeer_ids}
+        for leaf in self.leaf_ids:
+            candidates = [
+                sp for sp in self.superpeer_ids
+                if loads[sp] < self.config.leaves_per_superpeer
+            ] or self.superpeer_ids
+            superpeer = self.rng.choice(candidates)
+            self.attachment[leaf] = superpeer
+            loads[superpeer] += 1
+
+    def _link_superpeers(self) -> None:
+        count = len(self.superpeer_ids)
+        neighbors = min(self.config.superpeer_neighbors, count - 1)
+        for superpeer in self.superpeer_ids:
+            while len(self.superpeer_links[superpeer]) < neighbors:
+                other = self.rng.choice(self.superpeer_ids)
+                if other != superpeer:
+                    self.superpeer_links[superpeer].add(other)
+                    self.superpeer_links[other].add(superpeer)
+
+    def _place_objects(self) -> None:
+        for object_id in range(self.config.objects):
+            holders = self.rng.sample(
+                self.leaf_ids, min(self.config.replicas_per_object, len(self.leaf_ids))
+            )
+            for leaf in holders:
+                superpeer = self.attachment[leaf]
+                self.index[superpeer].setdefault(object_id, set()).add(leaf)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, leaf: int, object_id: int, ttl: int = 2) -> SuperpeerQueryResult:
+        """Leaf asks its superpeer; the superpeer floods its tier up to ``ttl`` hops."""
+        home = self.attachment[leaf]
+        latency = self.rng.exponential(self.config.hop_latency_mean)
+        hops = 1
+        visited = {home}
+        frontier = [home]
+        contacted = 1
+        if object_id in self.index[home]:
+            return SuperpeerQueryResult(True, hops, latency, contacted)
+        for depth in range(ttl):
+            next_frontier: List[int] = []
+            for superpeer in frontier:
+                for neighbor in self.superpeer_links[superpeer]:
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+                    contacted += 1
+            hops += 1
+            latency += self.rng.exponential(self.config.hop_latency_mean)
+            if any(object_id in self.index[sp] for sp in next_frontier):
+                return SuperpeerQueryResult(True, hops, latency, contacted)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return SuperpeerQueryResult(False, hops, latency, contacted)
+
+    def run_queries(self, count: int = 300, ttl: int = 2) -> Dict[str, float]:
+        """Issue random queries and aggregate recall/latency/cost."""
+        results = []
+        for _ in range(count):
+            leaf = self.rng.choice(self.leaf_ids)
+            object_id = self.rng.randint(0, self.config.objects - 1)
+            results.append(self.query(leaf, object_id, ttl=ttl))
+        found = [result for result in results if result.found]
+        return {
+            "recall": len(found) / len(results) if results else 0.0,
+            "mean_hops": sum(r.hops for r in results) / len(results) if results else 0.0,
+            "mean_latency": sum(r.latency for r in results) / len(results) if results else 0.0,
+            "mean_superpeers_contacted": (
+                sum(r.superpeers_contacted for r in results) / len(results) if results else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Centralization of the superpeer tier
+    # ------------------------------------------------------------------
+    def index_shares(self) -> List[float]:
+        """Fraction of the global object index held by each superpeer."""
+        totals = [
+            sum(len(holders) for holders in self.index[sp].values())
+            for sp in self.superpeer_ids
+        ]
+        overall = sum(totals)
+        return [total / overall if overall else 0.0 for total in totals]
+
+    def centralization_report(self) -> Dict[str, float]:
+        """How centralized the superpeer tier is compared to the flat overlay."""
+        shares = self.index_shares()
+        population = self.config.leaves + self.config.superpeers
+        return {
+            "superpeer_fraction_of_peers": self.config.superpeers / population,
+            "index_top_5_share": top_k_share(shares, 5),
+            "index_nakamoto": float(nakamoto_coefficient(shares)),
+        }

@@ -1,0 +1,51 @@
+"""Hyperledger-Fabric-like permissioned blockchain (Section IV).
+
+The paper uses Hyperledger Fabric as the reference architecture for
+permissioned blockchains: known, authenticated members; no proof-of-work;
+pluggable CFT/BFT ordering; channels so that "consensus or replication can
+be configured between a subset of the nodes of the network"; and chaincode
+executed in sandboxed environments.
+
+The subpackage implements the execute–order–validate pipeline over the
+simulation kernel:
+
+* :mod:`~repro.permissioned.identity` — the membership service (MSP):
+  organizations, identities, and who is allowed to endorse or order.
+* :mod:`~repro.permissioned.ledger` — world state, read/write sets and
+  MVCC validation at commit time.
+* :mod:`~repro.permissioned.chaincode` — simulated chaincode (smart
+  contracts) with execution cost and key-access patterns.
+* :mod:`~repro.permissioned.fabric` — peers, the ordering service, channels
+  and the end-to-end transaction flow with throughput/latency metrics.
+"""
+
+from repro.permissioned.identity import Identity, MembershipService, Organization
+from repro.permissioned.ledger import Ledger, ReadWriteSet, ValidationCode, WorldState
+from repro.permissioned.chaincode import Chaincode, ChaincodeRegistry, asset_transfer_chaincode
+from repro.permissioned.fabric import (
+    ChannelConfig,
+    EndorsementPolicy,
+    FabricMetrics,
+    FabricNetwork,
+    FabricNetworkConfig,
+    OrderingConfig,
+)
+
+__all__ = [
+    "Identity",
+    "MembershipService",
+    "Organization",
+    "Ledger",
+    "ReadWriteSet",
+    "ValidationCode",
+    "WorldState",
+    "Chaincode",
+    "ChaincodeRegistry",
+    "asset_transfer_chaincode",
+    "ChannelConfig",
+    "EndorsementPolicy",
+    "FabricMetrics",
+    "FabricNetwork",
+    "FabricNetworkConfig",
+    "OrderingConfig",
+]

@@ -1,0 +1,121 @@
+"""Membership service provider (MSP): organizations and authenticated identities.
+
+"Unlike permissionless ones, permissioned blockchains have means to
+authenticate the nodes that control and update the shared state and to
+authorize who can issue transactions."  Certificates are modelled as opaque
+tokens issued by an organization's CA; what matters behaviourally is that
+(a) only enrolled identities can act, (b) identities are bound to an
+organization, and (c) revocation takes effect immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An enrolled identity (a certificate issued by an organization's CA)."""
+
+    name: str
+    organization: str
+    role: str = "member"          # "member", "peer", "orderer", "admin", "client"
+    certificate: str = ""
+
+    def is_role(self, role: str) -> bool:
+        """Whether this identity carries the given role."""
+        return self.role == role
+
+
+@dataclass
+class Organization:
+    """A consortium member operating peers and issuing identities."""
+
+    name: str
+    msp_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.msp_id:
+            self.msp_id = f"{self.name}-msp"
+
+
+class MembershipService:
+    """Issues, validates and revokes identities for a consortium."""
+
+    def __init__(self, organizations: Optional[List[Organization]] = None) -> None:
+        self.organizations: Dict[str, Organization] = {}
+        self._identities: Dict[str, Identity] = {}
+        self._revoked: Set[str] = set()
+        self._serial = itertools.count(1)
+        for organization in organizations or []:
+            self.add_organization(organization)
+
+    # ------------------------------------------------------------------
+    # Consortium management
+    # ------------------------------------------------------------------
+    def add_organization(self, organization: Organization) -> Organization:
+        """Admit an organization to the consortium."""
+        if organization.name in self.organizations:
+            raise ValueError(f"organization {organization.name!r} already exists")
+        self.organizations[organization.name] = organization
+        return organization
+
+    def organization_names(self) -> List[str]:
+        """Names of all consortium members."""
+        return list(self.organizations.keys())
+
+    # ------------------------------------------------------------------
+    # Identity lifecycle
+    # ------------------------------------------------------------------
+    def enroll(self, name: str, organization: str, role: str = "member") -> Identity:
+        """Issue a certificate for ``name`` under ``organization``."""
+        if organization not in self.organizations:
+            raise KeyError(f"unknown organization {organization!r}")
+        if name in self._identities and name not in self._revoked:
+            raise ValueError(f"identity {name!r} already enrolled")
+        serial = next(self._serial)
+        certificate = hashlib.sha256(
+            f"{organization}:{name}:{role}:{serial}".encode("utf-8")
+        ).hexdigest()
+        identity = Identity(name=name, organization=organization, role=role, certificate=certificate)
+        self._identities[name] = identity
+        self._revoked.discard(name)
+        return identity
+
+    def revoke(self, name: str) -> None:
+        """Revoke an identity; it can no longer authenticate."""
+        if name not in self._identities:
+            raise KeyError(f"unknown identity {name!r}")
+        self._revoked.add(name)
+
+    def is_valid(self, identity: Identity) -> bool:
+        """Whether the identity is enrolled, unrevoked and unmodified."""
+        known = self._identities.get(identity.name)
+        if known is None or identity.name in self._revoked:
+            return False
+        return known.certificate == identity.certificate
+
+    def get(self, name: str) -> Identity:
+        """Look up an enrolled identity by name."""
+        if name not in self._identities or name in self._revoked:
+            raise KeyError(f"unknown or revoked identity {name!r}")
+        return self._identities[name]
+
+    def identities_of(self, organization: str, role: Optional[str] = None) -> List[Identity]:
+        """All valid identities of an organization (optionally of one role)."""
+        result = []
+        for name, identity in self._identities.items():
+            if name in self._revoked or identity.organization != organization:
+                continue
+            if role is not None and identity.role != role:
+                continue
+            result.append(identity)
+        return result
+
+    def authorize(self, identity: Identity, required_role: str) -> bool:
+        """Authentication plus role check — the permissioning the paper contrasts
+        with open membership."""
+        return self.is_valid(identity) and identity.role == required_role

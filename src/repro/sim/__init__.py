@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel used by every simulator in :mod:`repro`.
+
+The kernel is deliberately small and deterministic:
+
+* :class:`~repro.sim.engine.Simulator` — a heap-based event loop with a
+  virtual clock, callback scheduling and generator-based processes.
+* :class:`~repro.sim.rng.SeededRNG` — a seeded random source with the
+  distributions used across the library (exponential, Pareto, Weibull,
+  Zipf, log-normal).
+* :class:`~repro.sim.network.Network` — a latency/bandwidth message-passing
+  model between named nodes, with configurable per-link delay distributions.
+* :mod:`~repro.sim.churn` — session/arrival processes used to model open
+  peer-to-peer membership dynamics.
+* :mod:`~repro.sim.metrics` — counters, samples and time series collected
+  during a run.
+
+Everything is seeded explicitly; running the same scenario twice with the
+same seed produces the same trajectory.
+"""
+
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.rng import SeededRNG
+from repro.sim.network import Link, Message, Network, NetworkParams
+from repro.sim.node import Node
+from repro.sim.churn import ChurnModel, ChurnProcess, SessionSample
+from repro.sim.metrics import Counter, MetricsRegistry, Sample, TimeSeries
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "SeededRNG",
+    "Link",
+    "Message",
+    "Network",
+    "NetworkParams",
+    "Node",
+    "ChurnModel",
+    "ChurnProcess",
+    "SessionSample",
+    "Counter",
+    "MetricsRegistry",
+    "Sample",
+    "TimeSeries",
+]

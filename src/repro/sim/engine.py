@@ -1,0 +1,308 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine provides two complementary programming models:
+
+* **Callback scheduling** — ``sim.schedule(delay, fn, *args)`` runs ``fn`` at
+  ``sim.now + delay``.  This is the cheapest way to express protocol timers
+  and message deliveries.
+* **Generator processes** — ``sim.spawn(generator)`` runs a Python generator
+  as a cooperative process.  The generator yields :class:`Timeout` objects
+  (sleep for a virtual duration) or :class:`Event` objects (wait until the
+  event is triggered).  This is the SimPy-style model and is convenient for
+  multi-step protocols such as DHT lookups or PBFT rounds.
+
+The event queue is a binary heap ordered by ``(time, sequence)`` so that
+events scheduled at the same instant fire in scheduling order, which keeps
+runs fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+@dataclass(order=True)
+class _ScheduledCall:
+    """Internal heap entry: a callback to run at a virtual time."""
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (optionally with a
+    value) triggers it, resuming every process that was waiting on it.
+    Triggering an event twice is an error.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to all waiting processes."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._resume, value)
+        return self
+
+    def add_waiter(self, process: "Process") -> None:
+        """Register ``process`` to be resumed when the event triggers."""
+        if self.triggered:
+            self.sim.schedule(0.0, process._resume, self.value)
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+@dataclass
+class Timeout:
+    """Yielded by a process generator to sleep for ``delay`` virtual seconds."""
+
+    delay: float
+    value: Any = None
+
+
+class Process:
+    """A generator running as a cooperative simulation process.
+
+    The wrapped generator may yield:
+
+    * :class:`Timeout` — resume after the given virtual delay.
+    * :class:`Event` — resume when the event triggers; the event's value is
+      sent back into the generator.
+    * ``Process`` — resume when the other process finishes; its return value
+      is sent back.
+
+    When the generator returns, :attr:`done` becomes an event triggered with
+    the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Event(sim, name=f"{self.name}.done")
+        self.alive = True
+
+    def start(self) -> "Process":
+        """Schedule the first step of the process at the current time."""
+        self.sim.schedule(0.0, self._resume, None)
+        return self
+
+    def interrupt(self) -> None:
+        """Stop the process; it will never be resumed again."""
+        self.alive = False
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            if not self.done.triggered:
+                self.done.succeed(getattr(stop, "value", None))
+            return
+        self._handle(yielded)
+
+    def _handle(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.sim.schedule(yielded.delay, self._resume, yielded.value)
+        elif isinstance(yielded, Event):
+            yielded.add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.done.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported object {yielded!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "alive" if self.alive else "finished"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Heap-based discrete-event simulator with a virtual clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> handle = sim.schedule(5.0, fired.append, "hello")
+    >>> sim.run()
+    >>> sim.now, fired
+    (5.0, ['hello'])
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue: List[_ScheduledCall] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> _ScheduledCall:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        entry = _ScheduledCall(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> _ScheduledCall:
+        """Schedule ``callback(*args)`` at the absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    def event(self, name: str = "") -> Event:
+        """Create a new pending :class:`Event` bound to this simulator."""
+        return Event(self, name=name)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Run ``generator`` as a :class:`Process`, starting immediately."""
+        return Process(self, generator, name=name).start()
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Convenience constructor for :class:`Timeout` (mirrors SimPy)."""
+        return Timeout(delay, value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if entry.time < self.now - 1e-12:
+                raise SimulationError("event queue time went backwards")
+            self.now = entry.time
+            entry.callback(*entry.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue empties, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the number of events run.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self.now = until
+                    break
+                self.step()
+                processed += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return processed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed since construction."""
+        return self._processed
+
+    def drain(self) -> None:
+        """Drop every pending event without running it."""
+        self._queue.clear()
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """Return an event that triggers once every event in ``events`` has."""
+        events = list(events)
+        combined = self.event(name=name)
+        remaining = {"count": len(events)}
+        if remaining["count"] == 0:
+            combined.succeed([])
+            return combined
+        values: List[Any] = [None] * len(events)
+
+        def _make_waiter(index: int) -> Callable[[Any], None]:
+            def _on_trigger(value: Any) -> None:
+                values[index] = value
+                remaining["count"] -= 1
+                if remaining["count"] == 0 and not combined.triggered:
+                    combined.succeed(values)
+
+            return _on_trigger
+
+        for index, event in enumerate(events):
+            _attach_callback(self, event, _make_waiter(index))
+        return combined
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
+        """Return an event that triggers when the first of ``events`` does."""
+        combined = self.event(name=name)
+
+        def _on_trigger(value: Any) -> None:
+            if not combined.triggered:
+                combined.succeed(value)
+
+        for event in events:
+            _attach_callback(self, event, _on_trigger)
+        return combined
+
+
+def _attach_callback(sim: Simulator, event: Event, callback: Callable[[Any], None]) -> None:
+    """Attach a plain callback to an event by wrapping it in a tiny process."""
+
+    def _waiter() -> Generator:
+        value = yield event
+        callback(value)
+
+    sim.spawn(_waiter(), name=f"waiter:{event.name}")

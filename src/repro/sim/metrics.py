@@ -1,0 +1,218 @@
+"""Metric collection for simulation runs.
+
+Three primitives cover everything the experiments need:
+
+* :class:`Counter` — monotonically increasing event counts.
+* :class:`Sample` — a bag of observations with percentile/summary helpers
+  (lookup latencies, block intervals, transaction confirmation times).
+* :class:`TimeSeries` — (time, value) pairs for quantities that evolve over a
+  run (online population, chain length, market shares).
+
+A :class:`MetricsRegistry` groups them under string names so simulators can
+expose everything they measured in a single object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` (default 1) and return the new value."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+        return self.value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Sample:
+    """A collection of scalar observations with summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.observe(value)
+
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return len(self.values)
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def total(self) -> float:
+        """Sum of all observations."""
+        return sum(self.values)
+
+    def minimum(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return min(self.values) if self.values else 0.0
+
+    def maximum(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return max(self.values) if self.values else 0.0
+
+    def stdev(self) -> float:
+        """Population standard deviation (0.0 for fewer than two samples)."""
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((value - mu) ** 2 for value in self.values) / len(self.values))
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    def median(self) -> float:
+        """50th percentile."""
+        return self.percentile(50.0)
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Empirical CDF as (value, cumulative fraction) pairs."""
+        if not self.values:
+            return []
+        ordered = sorted(self.values)
+        n = len(ordered)
+        step = max(1, n // points)
+        cdf_points = [
+            (ordered[index], (index + 1) / n) for index in range(0, n, step)
+        ]
+        if cdf_points[-1][0] != ordered[-1]:
+            cdf_points.append((ordered[-1], 1.0))
+        return cdf_points
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of observations strictly below ``threshold``."""
+        if not self.values:
+            return 0.0
+        return sum(1 for value in self.values if value < threshold) / len(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        """Dictionary of the headline statistics (for reports and tests)."""
+        return {
+            "count": float(self.count()),
+            "mean": self.mean(),
+            "stdev": self.stdev(),
+            "min": self.minimum(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.maximum(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Sample({self.name!r}, n={len(self.values)}, mean={self.mean():.4g})"
+
+
+class TimeSeries:
+    """(time, value) pairs for a quantity evolving over a simulation."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation at the given virtual time."""
+        self.points.append((float(time), float(value)))
+
+    def last(self) -> Optional[float]:
+        """Most recent value, or ``None`` if empty."""
+        return self.points[-1][1] if self.points else None
+
+    def values(self) -> List[float]:
+        """All values in recording order."""
+        return [value for _, value in self.points]
+
+    def times(self) -> List[float]:
+        """All timestamps in recording order."""
+        return [time for time, _ in self.points]
+
+    def time_average(self) -> float:
+        """Time-weighted average assuming piecewise-constant values."""
+        if len(self.points) < 2:
+            return self.points[0][1] if self.points else 0.0
+        weighted = 0.0
+        duration = 0.0
+        for (t0, v0), (t1, _) in zip(self.points, self.points[1:]):
+            weighted += v0 * (t1 - t0)
+            duration += t1 - t0
+        return weighted / duration if duration > 0 else self.points[-1][1]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class MetricsRegistry:
+    """Named collection of counters, samples and time series."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    samples: Dict[str, Sample] = field(default_factory=dict)
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter with the given name."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def sample(self, name: str) -> Sample:
+        """Get or create the sample with the given name."""
+        if name not in self.samples:
+            self.samples[name] = Sample(name)
+        return self.samples[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        """Get or create the time series with the given name."""
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Flatten everything into plain dictionaries for reporting."""
+        result: Dict[str, Dict[str, float]] = {"counters": {}, "samples": {}, "series": {}}
+        for name, counter in self.counters.items():
+            result["counters"][name] = float(counter.value)
+        for name, sample in self.samples.items():
+            result["samples"][name] = sample.mean()
+        for name, series in self.series.items():
+            last = series.last()
+            result["series"][name] = last if last is not None else 0.0
+        return result

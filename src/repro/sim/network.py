@@ -1,0 +1,253 @@
+"""Latency/bandwidth network model for message-passing simulations.
+
+The network connects named nodes (any hashable identifier).  Sending a
+message samples a one-way delay from the link's latency distribution, adds a
+serialisation delay proportional to the message size and the link bandwidth,
+and schedules delivery on the simulator.  Links can be declared explicitly or
+derived from region-to-region latency defaults, which is how the blockchain
+and edge simulators model geo-distribution without a full topology.
+
+Partitions and crashed nodes are modelled by dropping messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRNG
+
+NodeId = Hashable
+Handler = Callable[["Message"], None]
+
+
+@dataclass
+class NetworkParams:
+    """Default link characteristics.
+
+    Attributes
+    ----------
+    base_latency:
+        Mean one-way propagation delay in seconds for nodes in the same
+        region.
+    latency_jitter:
+        Fractional jitter: each delivery multiplies the mean latency by a
+        log-normal factor with this sigma.
+    bandwidth_bps:
+        Link bandwidth in bits per second used for the serialisation delay.
+    loss_rate:
+        Probability that any single message is silently dropped.
+    inter_region_latency:
+        Mean one-way delay between nodes in *different* regions.
+    """
+
+    base_latency: float = 0.05
+    latency_jitter: float = 0.25
+    bandwidth_bps: float = 10_000_000.0
+    loss_rate: float = 0.0
+    inter_region_latency: float = 0.15
+
+
+@dataclass
+class Link:
+    """Explicit per-pair link override."""
+
+    latency: float
+    bandwidth_bps: Optional[float] = None
+    loss_rate: Optional[float] = None
+
+
+@dataclass
+class Message:
+    """A message in flight between two nodes."""
+
+    sender: NodeId
+    recipient: NodeId
+    msg_type: str
+    payload: Any = None
+    size_bytes: int = 256
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """Observed one-way latency once delivered."""
+        return self.delivered_at - self.sent_at
+
+
+class Network:
+    """Message-passing substrate with per-link latency and bandwidth."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[NetworkParams] = None,
+        rng: Optional[SeededRNG] = None,
+    ) -> None:
+        self.sim = sim
+        self.params = params or NetworkParams()
+        self.rng = rng or SeededRNG(0)
+        self._handlers: Dict[NodeId, Handler] = {}
+        self._regions: Dict[NodeId, str] = {}
+        self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
+        self._offline: Set[NodeId] = set()
+        self._partitions: Dict[NodeId, int] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, node_id: NodeId, handler: Handler, region: str = "default") -> None:
+        """Attach a node and its message handler to the network."""
+        self._handlers[node_id] = handler
+        self._regions[node_id] = region
+        self._offline.discard(node_id)
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node; in-flight messages to it are dropped on delivery."""
+        self._handlers.pop(node_id, None)
+        self._regions.pop(node_id, None)
+        self._offline.discard(node_id)
+
+    def set_offline(self, node_id: NodeId, offline: bool = True) -> None:
+        """Mark a registered node as (un)reachable without unregistering it."""
+        if offline:
+            self._offline.add(node_id)
+        else:
+            self._offline.discard(node_id)
+
+    def is_online(self, node_id: NodeId) -> bool:
+        """True when the node is registered and not marked offline."""
+        return node_id in self._handlers and node_id not in self._offline
+
+    def nodes(self) -> Iterable[NodeId]:
+        """All registered node identifiers."""
+        return self._handlers.keys()
+
+    def region_of(self, node_id: NodeId) -> str:
+        """Region label of a node (``"default"`` if never set)."""
+        return self._regions.get(node_id, "default")
+
+    # ------------------------------------------------------------------
+    # Topology control
+    # ------------------------------------------------------------------
+    def set_link(self, a: NodeId, b: NodeId, link: Link) -> None:
+        """Override the link characteristics for the (unordered) pair."""
+        self._links[(a, b)] = link
+        self._links[(b, a)] = link
+
+    def set_partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
+        """Partition the network: messages across groups are dropped."""
+        self._partitions.clear()
+        for index, group in enumerate(groups):
+            for node_id in group:
+                self._partitions[node_id] = index
+
+    def clear_partition(self) -> None:
+        """Heal any partition previously installed with :meth:`set_partition`."""
+        self._partitions.clear()
+
+    def _same_partition(self, a: NodeId, b: NodeId) -> bool:
+        if not self._partitions:
+            return True
+        return self._partitions.get(a, -1) == self._partitions.get(b, -1)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: NodeId,
+        recipient: NodeId,
+        msg_type: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> Message:
+        """Send a message; delivery is scheduled on the simulator.
+
+        The returned :class:`Message` is the object the recipient's handler
+        will receive (useful for tests that want to inspect timing).
+        """
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            msg_type=msg_type,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if self._should_drop(sender, recipient):
+            self.messages_dropped += 1
+            return message
+        delay = self.sample_delay(sender, recipient, size_bytes)
+        self.sim.schedule(delay, self._deliver, message)
+        return message
+
+    def broadcast(
+        self,
+        sender: NodeId,
+        recipients: Iterable[NodeId],
+        msg_type: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> int:
+        """Send the same message to every recipient; returns the count sent."""
+        count = 0
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.send(sender, recipient, msg_type, payload, size_bytes)
+            count += 1
+        return count
+
+    def _should_drop(self, sender: NodeId, recipient: NodeId) -> bool:
+        if sender in self._offline or recipient in self._offline:
+            return True
+        if not self._same_partition(sender, recipient):
+            return True
+        loss = self._link_attr(sender, recipient, "loss_rate", self.params.loss_rate)
+        return loss > 0 and self.rng.bernoulli(loss)
+
+    def sample_delay(self, sender: NodeId, recipient: NodeId, size_bytes: int) -> float:
+        """Sample the one-way delay (propagation + serialisation) for a message."""
+        link = self._links.get((sender, recipient))
+        if link is not None:
+            mean_latency = link.latency
+            bandwidth = link.bandwidth_bps or self.params.bandwidth_bps
+        else:
+            same_region = self.region_of(sender) == self.region_of(recipient)
+            mean_latency = (
+                self.params.base_latency if same_region else self.params.inter_region_latency
+            )
+            bandwidth = self.params.bandwidth_bps
+        jitter = 1.0
+        if self.params.latency_jitter > 0:
+            jitter = self.rng.lognormal(0.0, self.params.latency_jitter)
+        serialisation = (size_bytes * 8.0) / bandwidth if bandwidth > 0 else 0.0
+        return max(1e-6, mean_latency * jitter + serialisation)
+
+    def _link_attr(self, a: NodeId, b: NodeId, attr: str, default: float) -> float:
+        link = self._links.get((a, b))
+        if link is None:
+            return default
+        value = getattr(link, attr)
+        return default if value is None else value
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.recipient)
+        if handler is None or message.recipient in self._offline:
+            self.messages_dropped += 1
+            return
+        if not self._same_partition(message.sender, message.recipient):
+            self.messages_dropped += 1
+            return
+        message.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        handler(message)

@@ -1,0 +1,82 @@
+"""Base class for simulated nodes.
+
+A :class:`Node` owns an identifier, a reference to the simulator and the
+network, and dispatches incoming messages to ``on_<msg_type>`` methods.  The
+protocol simulators (DHTs, blockchain nodes, BFT replicas, Fabric peers)
+subclass it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Message, Network
+
+
+class Node:
+    """A network participant that dispatches messages by type."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        sim: Simulator,
+        network: Network,
+        region: str = "default",
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.region = region
+        self.online = True
+        network.register(node_id, self.receive, region=region)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def go_offline(self) -> None:
+        """Take the node off the network (messages to/from it are dropped)."""
+        self.online = False
+        self.network.set_offline(self.node_id, True)
+
+    def go_online(self) -> None:
+        """Bring the node back online."""
+        self.online = True
+        self.network.set_offline(self.node_id, False)
+
+    def shutdown(self) -> None:
+        """Permanently remove the node from the network."""
+        self.online = False
+        self.network.unregister(self.node_id)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        recipient: Hashable,
+        msg_type: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> Optional[Message]:
+        """Send a message if this node is online."""
+        if not self.online:
+            return None
+        return self.network.send(self.node_id, recipient, msg_type, payload, size_bytes)
+
+    def receive(self, message: Message) -> None:
+        """Dispatch an incoming message to ``on_<msg_type>`` if it exists."""
+        if not self.online:
+            return
+        handler = getattr(self, f"on_{message.msg_type}", None)
+        if handler is not None:
+            handler(message)
+        else:
+            self.on_unknown(message)
+
+    def on_unknown(self, message: Message) -> None:
+        """Hook for unhandled message types; default is to ignore them."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "online" if self.online else "offline"
+        return f"{type(self).__name__}({self.node_id!r}, {state})"

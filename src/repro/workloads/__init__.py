@@ -1,0 +1,17 @@
+"""Workload generators shared by the experiments and examples."""
+
+from repro.workloads.generators import (
+    LookupWorkload,
+    PaymentWorkload,
+    VerticalWorkload,
+    WorkloadEvent,
+    ZipfObjectWorkload,
+)
+
+__all__ = [
+    "LookupWorkload",
+    "PaymentWorkload",
+    "VerticalWorkload",
+    "WorkloadEvent",
+    "ZipfObjectWorkload",
+]

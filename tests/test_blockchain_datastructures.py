@@ -1,0 +1,255 @@
+"""Tests for transactions, blocks, the block tree, mempool and mining primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain.chain import BlockTree
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.mining import DifficultyAdjuster, MinerSpec, MiningProcess
+from repro.blockchain.primitives import Block, Transaction, block_hash
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRNG
+
+
+def make_tx(index, fee=1.0, size=400):
+    return Transaction(
+        tx_id=f"tx-{index}", payer=f"p{index}", payee=f"q{index}", amount=1.0,
+        fee=fee, size_bytes=size,
+    )
+
+
+class TestPrimitives:
+    def test_transaction_validation(self):
+        with pytest.raises(ValueError):
+            Transaction("t", "a", "b", amount=-1.0)
+        with pytest.raises(ValueError):
+            Transaction("t", "a", "b", amount=1.0, fee=-0.1)
+        with pytest.raises(ValueError):
+            Transaction("t", "a", "b", amount=1.0, size_bytes=0)
+
+    def test_genesis_block(self):
+        genesis = Block.genesis()
+        assert genesis.height == 0
+        assert genesis.tx_count == 0
+
+    def test_block_hash_changes_with_content(self):
+        genesis = Block.genesis()
+        child_a = Block.create(genesis, miner="a", timestamp=1.0)
+        child_b = Block.create(genesis, miner="b", timestamp=1.0)
+        assert child_a.hash != child_b.hash
+        assert child_a.parent_hash == genesis.hash
+
+    def test_block_hash_deterministic(self):
+        genesis = Block.genesis()
+        child = Block.create(genesis, miner="a", timestamp=2.0)
+        assert child.hash == block_hash(child.header)
+
+    def test_block_size_and_fees(self):
+        genesis = Block.genesis()
+        txs = [make_tx(i, fee=0.5, size=300) for i in range(4)]
+        block = Block.create(genesis, miner="m", timestamp=1.0, transactions=txs)
+        assert block.size_bytes == block.header_bytes + 4 * 300
+        assert block.total_fees() == pytest.approx(2.0)
+        assert block.tx_count == 4
+
+
+class TestBlockTree:
+    def build_chain(self, length=5):
+        tree = BlockTree()
+        parent = tree.genesis
+        for index in range(length):
+            block = Block.create(parent, miner="m", timestamp=float(index + 1))
+            tree.add(block)
+            parent = block
+        return tree
+
+    def test_linear_chain_head(self):
+        tree = self.build_chain(5)
+        assert tree.head.height == 5
+        assert len(tree.main_chain()) == 6
+        assert tree.stats().stale_blocks == 0
+
+    def test_unknown_parent_rejected(self):
+        tree = BlockTree()
+        orphan_parent = Block.create(Block.genesis(), miner="x", timestamp=1.0)
+        orphan = Block.create(orphan_parent, miner="x", timestamp=2.0)
+        with pytest.raises(KeyError):
+            tree.add(orphan)
+
+    def test_duplicate_add_is_noop(self):
+        tree = BlockTree()
+        block = Block.create(tree.genesis, miner="m", timestamp=1.0)
+        assert tree.add(block) is True
+        assert tree.add(block) is False
+
+    def test_fork_resolution_longest_chain(self):
+        tree = BlockTree()
+        a1 = Block.create(tree.genesis, miner="a", timestamp=1.0)
+        b1 = Block.create(tree.genesis, miner="b", timestamp=1.1)
+        tree.add(a1)
+        tree.add(b1)
+        assert tree.head == a1                      # first at equal height wins
+        b2 = Block.create(b1, miner="b", timestamp=2.0)
+        tree.add(b2)
+        assert tree.head == b2                      # longer branch takes over
+        stats = tree.stats()
+        assert stats.stale_blocks == 1
+        assert stats.forks_observed == 1
+        assert tree.max_reorg_depth >= 1
+
+    def test_confirmations(self):
+        tree = self.build_chain(6)
+        main = tree.chain_hashes()
+        assert tree.confirmations(main[-1]) == 1
+        assert tree.confirmations(main[1]) == 6
+        assert tree.confirmations("unknown") == 0
+
+    def test_confirmed_transactions_depth_filter(self):
+        tree = BlockTree()
+        parent = tree.genesis
+        for index in range(3):
+            block = Block.create(
+                parent, miner="m", timestamp=float(index + 1), transactions=[make_tx(index)]
+            )
+            tree.add(block)
+            parent = block
+        assert len(tree.confirmed_transactions(min_confirmations=1)) == 3
+        assert len(tree.confirmed_transactions(min_confirmations=3)) == 1
+        assert len(tree.confirmed_transactions(min_confirmations=10)) == 0
+
+    def test_interblock_time(self):
+        tree = self.build_chain(4)
+        assert tree.stats().mean_interblock_time == pytest.approx(1.0)
+
+
+class TestMempool:
+    def test_add_and_duplicate(self):
+        pool = Mempool()
+        tx = make_tx(1)
+        assert pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1
+        assert "tx-1" in pool
+
+    def test_selection_prefers_fee_rate(self):
+        pool = Mempool()
+        cheap = make_tx(1, fee=0.1, size=400)
+        rich = make_tx(2, fee=2.0, size=400)
+        pool.add_many([cheap, rich])
+        selected = pool.select_for_block(max_block_bytes=400)
+        assert selected == [rich]
+
+    def test_selection_respects_block_size(self):
+        pool = Mempool()
+        pool.add_many([make_tx(i, size=400) for i in range(10)])
+        selected = pool.select_for_block(max_block_bytes=1200)
+        assert len(selected) == 3
+
+    def test_selection_respects_exclusion(self):
+        pool = Mempool()
+        pool.add_many([make_tx(i) for i in range(3)])
+        selected = pool.select_for_block(4000, exclude={"tx-0", "tx-1"})
+        assert [tx.tx_id for tx in selected] == ["tx-2"]
+
+    def test_remove_confirmed(self):
+        pool = Mempool()
+        pool.add_many([make_tx(i) for i in range(3)])
+        pool.remove(["tx-0", "tx-2"])
+        assert len(pool) == 1
+
+    def test_eviction_when_full(self):
+        pool = Mempool(max_size=2)
+        pool.add(make_tx(1, fee=0.1))
+        pool.add(make_tx(2, fee=0.2))
+        assert pool.add(make_tx(3, fee=5.0))          # evicts the cheapest
+        assert not pool.add(make_tx(4, fee=0.01))     # too cheap to enter
+        assert len(pool) == 2
+        assert "tx-1" not in pool
+
+    def test_total_bytes(self):
+        pool = Mempool()
+        pool.add_many([make_tx(i, size=100) for i in range(5)])
+        assert pool.total_bytes() == 500
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_never_exceeds_block_size(self, fees):
+        pool = Mempool()
+        pool.add_many([make_tx(i, fee=fee, size=250) for i, fee in enumerate(fees)])
+        selected = pool.select_for_block(max_block_bytes=1000)
+        assert sum(tx.size_bytes for tx in selected) <= 1000
+
+
+class TestDifficultyAdjustment:
+    def test_expected_interval(self):
+        adjuster = DifficultyAdjuster(target_interval=600.0, initial_hashrate=100.0)
+        assert adjuster.expected_interval(100.0) == pytest.approx(600.0)
+        assert adjuster.expected_interval(200.0) == pytest.approx(300.0)
+
+    def test_retarget_raises_difficulty_when_blocks_too_fast(self):
+        adjuster = DifficultyAdjuster(target_interval=600.0, retarget_window=10, initial_hashrate=1.0)
+        before = adjuster.difficulty
+        timestamp = 0.0
+        adjuster.record_block(timestamp)
+        for _ in range(10):
+            timestamp += 300.0           # blocks arriving twice as fast as target
+            adjuster.record_block(timestamp)
+        assert adjuster.difficulty == pytest.approx(before * 2.0, rel=0.01)
+
+    def test_retarget_clamped(self):
+        adjuster = DifficultyAdjuster(
+            target_interval=600.0, retarget_window=5, max_adjustment_factor=4.0, initial_hashrate=1.0
+        )
+        before = adjuster.difficulty
+        timestamp = 0.0
+        adjuster.record_block(timestamp)
+        for _ in range(5):
+            timestamp += 1.0             # absurdly fast blocks
+            adjuster.record_block(timestamp)
+        assert adjuster.difficulty == pytest.approx(before * 4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DifficultyAdjuster(target_interval=0.0)
+        with pytest.raises(ValueError):
+            DifficultyAdjuster(retarget_window=0)
+        with pytest.raises(ValueError):
+            DifficultyAdjuster(max_adjustment_factor=0.5)
+
+
+class TestMiningProcess:
+    def test_block_discovery_rate_matches_hashrate(self):
+        sim = Simulator()
+        found = []
+        spec = MinerSpec(name="m", hashrate=10.0)
+        process = MiningProcess(
+            sim, spec, SeededRNG(1), difficulty=lambda: 600.0, on_block_found=found.append
+        )
+        process.start()
+        sim.run(until=60_000.0)
+        # Expected interval = 600/10 = 60 s -> ~1000 blocks in 60k seconds.
+        assert 850 <= len(found) <= 1150
+
+    def test_stop_prevents_further_blocks(self):
+        sim = Simulator()
+        found = []
+        process = MiningProcess(
+            sim, MinerSpec("m", 10.0), SeededRNG(2), lambda: 600.0, found.append
+        )
+        process.start()
+        sim.run(until=600.0)
+        process.stop()
+        count = len(found)
+        sim.run(until=6000.0)
+        assert len(found) == count
+
+    def test_zero_hashrate_never_finds(self):
+        sim = Simulator()
+        found = []
+        process = MiningProcess(
+            sim, MinerSpec("m", 0.0), SeededRNG(3), lambda: 600.0, found.append
+        )
+        process.start()
+        sim.run(until=10_000.0)
+        assert found == []

@@ -1,0 +1,275 @@
+"""Tests for the PoW network simulator and the blockchain analytical models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain.attacks import (
+    attacker_success_probability,
+    confirmations_for_risk,
+    cost_of_majority_attack,
+    sybil_resistance_table,
+)
+from repro.blockchain.energy import AUSTRIA_ANNUAL_TWH, EnergyModel, EnergyParams
+from repro.blockchain.network import (
+    BITCOIN_PROTOCOL,
+    ETHEREUM_PROTOCOL,
+    PoWNetwork,
+    PoWNetworkConfig,
+)
+from repro.blockchain.pools import PoolFormationConfig, PoolFormationModel
+from repro.blockchain.proof_of_stake import (
+    NothingAtStakeModel,
+    ProofOfStakeParams,
+    attack_cost_comparison,
+)
+from repro.blockchain.selfish import (
+    profitability_threshold,
+    selfish_mining_revenue,
+    simulate_selfish_mining,
+)
+from repro.blockchain.throughput import REFERENCE_SYSTEMS, ThroughputModel
+from repro.blockchain.trilemma import evaluate_designs, built_in_designs, score_design
+
+
+class TestProtocolParams:
+    def test_bitcoin_capacity_in_paper_band(self):
+        assert 3.0 <= BITCOIN_PROTOCOL.capacity_tps <= 7.0
+
+    def test_ethereum_capacity_near_fifteen(self):
+        assert 10.0 <= ETHEREUM_PROTOCOL.capacity_tps <= 25.0
+
+    def test_max_txs_per_block(self):
+        assert BITCOIN_PROTOCOL.max_txs_per_block == 1_000_000 // 400
+
+
+class TestPoWNetwork:
+    @pytest.fixture(scope="class")
+    def bitcoin_run(self):
+        config = PoWNetworkConfig(
+            protocol=BITCOIN_PROTOCOL, miner_count=8, tx_arrival_rate=10.0,
+            duration_blocks=60, seed=3,
+        )
+        return PoWNetwork(config).run()
+
+    def test_throughput_saturates_at_capacity(self, bitcoin_run):
+        # With a finite number of blocks the realised interval fluctuates
+        # around the target, so allow the ratio a wide but bounded band.
+        assert bitcoin_run.throughput_tps <= bitcoin_run.capacity_tps * 1.4
+        assert bitcoin_run.throughput_tps >= bitcoin_run.capacity_tps * 0.55
+
+    def test_block_interval_near_target(self, bitcoin_run):
+        assert 400.0 <= bitcoin_run.mean_block_interval <= 900.0
+
+    def test_backlog_grows_when_overloaded(self, bitcoin_run):
+        assert bitcoin_run.backlog_transactions > 0
+
+    def test_stale_rate_small_for_bitcoin_parameters(self, bitcoin_run):
+        assert bitcoin_run.stale_rate < 0.05
+
+    def test_miners_get_blocks_roughly_by_hashrate(self, bitcoin_run):
+        assert sum(bitcoin_run.blocks_by_miner.values()) >= 60
+
+    def test_ethereum_faster_blocks_more_stale(self):
+        config = PoWNetworkConfig(
+            protocol=ETHEREUM_PROTOCOL, miner_count=8, tx_arrival_rate=40.0,
+            duration_blocks=250, seed=4,
+        )
+        result = PoWNetwork(config).run()
+        assert 8.0 <= result.mean_block_interval <= 20.0
+        assert result.stale_rate >= 0.0
+        assert result.throughput_tps > 8.0
+
+    def test_confirmation_latency_positive(self, bitcoin_run):
+        assert bitcoin_run.mean_confirmation_latency > 0
+
+
+class TestSelfishMining:
+    def test_analytic_matches_simulation(self):
+        for alpha in (0.2, 0.3, 0.4):
+            analytic = selfish_mining_revenue(alpha, gamma=0.0)
+            simulated = simulate_selfish_mining(alpha, gamma=0.0, blocks=200_000, seed=1)
+            assert simulated.relative_revenue == pytest.approx(analytic, abs=0.02)
+
+    def test_below_threshold_unprofitable(self):
+        assert selfish_mining_revenue(0.2, gamma=0.0) < 0.2
+
+    def test_above_threshold_profitable(self):
+        assert selfish_mining_revenue(0.4, gamma=0.0) > 0.4
+        result = simulate_selfish_mining(0.4, gamma=0.0, blocks=200_000, seed=2)
+        assert result.advantage > 0.02
+
+    def test_gamma_lowers_threshold(self):
+        assert profitability_threshold(0.0) == pytest.approx(1.0 / 3.0)
+        assert profitability_threshold(1.0) == pytest.approx(0.0)
+        assert profitability_threshold(0.5) < profitability_threshold(0.0)
+
+    def test_gamma_increases_revenue(self):
+        low = selfish_mining_revenue(0.3, gamma=0.0)
+        high = selfish_mining_revenue(0.3, gamma=0.9)
+        assert high > low
+
+    def test_selfish_mining_raises_stale_rate(self):
+        honest_like = simulate_selfish_mining(0.0, blocks=50_000, seed=3)
+        attacked = simulate_selfish_mining(0.4, blocks=50_000, seed=3)
+        assert attacked.stale_rate > honest_like.stale_rate
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            selfish_mining_revenue(0.6)
+        with pytest.raises(ValueError):
+            selfish_mining_revenue(0.3, gamma=1.5)
+        with pytest.raises(ValueError):
+            simulate_selfish_mining(-0.1)
+
+    @given(st.floats(min_value=0.05, max_value=0.45), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_revenue_in_unit_interval(self, alpha, gamma):
+        revenue = selfish_mining_revenue(alpha, gamma)
+        assert -1e-9 <= revenue <= 1.0
+
+
+class TestDoubleSpend:
+    def test_matches_nakamoto_reference_values(self):
+        # Values from the Bitcoin paper's table (q=0.1).
+        assert attacker_success_probability(0.1, 0) == pytest.approx(1.0)
+        assert attacker_success_probability(0.1, 5) == pytest.approx(0.0009137, abs=1e-5)
+        assert attacker_success_probability(0.1, 10) == pytest.approx(0.0000012, abs=1e-6)
+
+    def test_majority_always_wins(self):
+        assert attacker_success_probability(0.5, 100) == 1.0
+        assert attacker_success_probability(0.7, 50) == 1.0
+
+    def test_probability_decreases_with_confirmations(self):
+        probabilities = [attacker_success_probability(0.3, z) for z in range(0, 12, 2)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_confirmations_for_risk(self):
+        assert confirmations_for_risk(0.1, 0.001) == 5
+        assert confirmations_for_risk(0.3, 0.001) > confirmations_for_risk(0.1, 0.001)
+        assert confirmations_for_risk(0.6, 0.001) == 10 ** 6
+
+    def test_sybil_identities_do_not_help_against_pow(self):
+        rows = sybil_resistance_table(0.2, [1, 10, 1000], confirmations=6)
+        success = {row["identities"]: row["success_probability"] for row in rows}
+        assert success[1.0] == success[10.0] == success[1000.0]
+
+    def test_majority_attack_cost_positive(self):
+        report = cost_of_majority_attack(1e6, 70.0, 0.01)
+        assert report["total_cost"] > 0
+        assert report["capital_cost"] > report["operating_cost"]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            attacker_success_probability(1.5, 6)
+        with pytest.raises(ValueError):
+            attacker_success_probability(0.1, -1)
+        with pytest.raises(ValueError):
+            confirmations_for_risk(0.1, 0.0)
+
+
+class TestEnergyModel:
+    def test_annual_energy_in_paper_band(self):
+        model = EnergyModel()
+        assert 40.0 <= model.annual_energy_twh() <= 100.0
+        assert model.annual_energy_twh() == pytest.approx(AUSTRIA_ANNUAL_TWH, rel=0.35)
+
+    def test_revenue_bound_same_order(self):
+        model = EnergyModel()
+        bottom_up = model.annual_energy_twh()
+        implied = model.revenue_implied_energy_twh()
+        assert 0.2 < implied / bottom_up < 5.0
+
+    def test_per_transaction_gap_is_enormous(self):
+        model = EnergyModel()
+        assert model.per_transaction_ratio() > 1e6
+
+    def test_hardware_mix_must_sum_to_one(self):
+        from repro.blockchain.energy import HardwareGeneration
+
+        with pytest.raises(ValueError):
+            EnergyModel(hardware_mix=[HardwareGeneration("x", 100.0, 0.5)])
+
+    def test_report_keys(self):
+        report = EnergyModel().report()
+        for key in ("annual_energy_twh", "energy_per_tx_kwh", "per_tx_ratio"):
+            assert key in report
+
+    def test_energy_scales_with_hashrate(self):
+        small = EnergyModel(EnergyParams(network_hashrate_th=1e6))
+        large = EnergyModel(EnergyParams(network_hashrate_th=4e7))
+        assert large.annual_energy_twh() > 10 * small.annual_energy_twh()
+
+
+class TestMiningPools:
+    def test_concentration_reaches_observed_levels(self):
+        model = PoolFormationModel(PoolFormationConfig(miners=800, rounds=80, seed=2))
+        final = model.run()
+        assert final.top_pools_share(6) >= 0.7
+        assert model.final_nakamoto_coefficient() <= 6
+
+    def test_trajectory_concentrates_over_time(self):
+        model = PoolFormationModel(PoolFormationConfig(miners=600, rounds=60, seed=3))
+        model.run()
+        trajectory = model.top_k_trajectory(6)
+        assert trajectory[-1] > trajectory[0]
+
+    def test_shares_normalised(self):
+        model = PoolFormationModel(PoolFormationConfig(miners=300, rounds=10, seed=4))
+        snapshot = model.run()
+        assert sum(snapshot.shares().values()) == pytest.approx(1.0)
+
+
+class TestProofOfStake:
+    def test_nothing_at_stake_forks_persist(self):
+        naive = NothingAtStakeModel(
+            ProofOfStakeParams(slashing_enabled=False, multi_vote_fraction=0.9, seed=1)
+        ).run()
+        slashing = NothingAtStakeModel(
+            ProofOfStakeParams(slashing_enabled=True, seed=1)
+        ).run()
+        assert naive.fork_open_fraction > 5 * slashing.fork_open_fraction
+        assert naive.mean_fork_duration_rounds > slashing.mean_fork_duration_rounds
+
+    def test_attack_cost_ordering(self):
+        costs = attack_cost_comparison()
+        assert costs["naive_pos"]["total_usd"] < costs["slashing_pos"]["total_usd"]
+        assert costs["naive_pos"]["total_usd"] < costs["pow"]["total_usd"] / 10.0
+
+
+class TestThroughputModelAndTrilemma:
+    def test_reference_figures_match_paper(self):
+        assert REFERENCE_SYSTEMS["bitcoin"].paper_tps_low == pytest.approx(3.3)
+        assert REFERENCE_SYSTEMS["visa"].paper_tps_low == pytest.approx(24_000.0)
+
+    def test_modelled_rates_land_in_bands(self):
+        model = ThroughputModel()
+        rows = {row["system"]: row for row in model.comparison_rows()}
+        assert 3.0 <= rows["bitcoin"]["modelled_tps"] <= 7.0
+        assert 10.0 <= rows["ethereum"]["modelled_tps"] <= 25.0
+        assert rows["visa"]["modelled_tps"] >= 20_000.0
+
+    def test_cloud_scales_with_partitions(self):
+        model = ThroughputModel()
+        assert model.cloud_capacity_tps(32) == 2 * model.cloud_capacity_tps(16)
+        assert model.partitions_needed(24_000.0) * model.partition_tps >= 24_000.0
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            ThroughputModel().cloud_capacity_tps(0)
+
+    def test_no_design_satisfies_all_three(self):
+        scores = evaluate_designs()
+        assert len(scores) == len(built_in_designs())
+        assert all(not score.satisfies_all_three() for score in scores)
+
+    def test_each_corner_has_an_identifiable_sacrifice(self):
+        scores = {score.design: score for score in evaluate_designs()}
+        assert scores["full-broadcast-pow"].weakest_axis() == "scalability"
+        assert scores["bigger-blocks"].weakest_axis() == "decentralization"
+        assert scores["sharded"].weakest_axis() == "security"
+
+    def test_scores_are_normalised(self):
+        for score in evaluate_designs():
+            for value in (score.scalability, score.decentralization, score.security):
+                assert 0.0 <= value <= 1.0

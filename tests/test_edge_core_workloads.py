@@ -1,0 +1,266 @@
+"""Tests for the edge model, workloads, the comparison harness and the decision framework."""
+
+import pytest
+
+from repro.blockchain.primitives import Transaction
+from repro.core.claims import CLAIMS, claims_by_id
+from repro.core.comparison import compare_architectures
+from repro.core.decision import DecisionInput, decision_matrix, recommend_architecture
+from repro.edge.islands import BlockchainIsland, IslandFederation, VERTICAL_DOMAINS
+from repro.edge.placement import PlacementStrategy, compare_placements
+from repro.edge.topology import EdgeTopology, EdgeTopologyConfig, TIER_LATENCIES
+from repro.workloads.generators import (
+    LookupWorkload,
+    PaymentWorkload,
+    VerticalWorkload,
+    ZipfObjectWorkload,
+)
+
+
+class TestEdgeTopology:
+    def test_tiers_built(self):
+        topology = EdgeTopology(EdgeTopologyConfig(regions=2, organizations_per_region=2,
+                                                   devices_per_organization=10))
+        assert len(topology.devices) == 40
+        assert len(topology.edge_sites) == 4
+        assert len(topology.regional_sites) == 2
+        assert len(topology.central_sites) == 1
+
+    def test_latency_ordering_edge_regional_central(self):
+        topology = EdgeTopology(EdgeTopologyConfig(seed=1))
+        device = topology.devices[0]
+        edge = topology.edge_site_of(device.organization)
+        regional = topology.nearest_regional(device)
+        central = topology.central()
+        edge_latency = topology.latency(device, edge, jitter=False)
+        regional_latency = topology.latency(device, regional, jitter=False)
+        central_latency = topology.latency(device, central, jitter=False)
+        assert edge_latency < regional_latency < central_latency
+
+    def test_cross_region_penalty(self):
+        topology = EdgeTopology(EdgeTopologyConfig(regions=2, seed=2))
+        device = topology.devices[0]
+        local_dc = topology.nearest_regional(device)
+        remote_dc = next(s for s in topology.regional_sites if s.region != device.region)
+        assert topology.latency(device, remote_dc, jitter=False) > topology.latency(
+            device, local_dc, jitter=False
+        )
+
+    def test_invalid_tier_rejected(self):
+        from repro.edge.topology import Site
+
+        with pytest.raises(ValueError):
+            Site(name="x", tier="orbital", region="r", organization="o")
+
+    def test_tier_latency_table_ordered(self):
+        assert (
+            TIER_LATENCIES["device"]
+            < TIER_LATENCIES["edge"]
+            < TIER_LATENCIES["regional"]
+            < TIER_LATENCIES["central"]
+        )
+
+
+class TestPlacement:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_placements(requests=800, seed=3)
+
+    def test_edge_latency_several_fold_lower(self, comparison):
+        assert comparison.speedup("cloud-only", "edge-centric") > 3.0
+
+    def test_edge_trust_is_decentralized(self, comparison):
+        assert comparison.results["cloud-only"].trust_nakamoto == 1
+        assert comparison.results["edge-centric"].trust_nakamoto > 1
+
+    def test_edge_keeps_data_local(self, comparison):
+        assert comparison.results["edge-centric"].control_locality > 0.8
+        assert comparison.results["cloud-only"].control_locality == 0.0
+
+    def test_regional_between_edge_and_central(self, comparison):
+        edge = comparison.results["edge-centric"].p50_latency
+        regional = comparison.results["regional-cloud"].p50_latency
+        central = comparison.results["cloud-only"].p50_latency
+        assert edge < regional < central
+
+    def test_summaries_have_keys(self, comparison):
+        for result in comparison.results.values():
+            summary = result.summary()
+            for key in ("p50_latency_ms", "p99_latency_ms", "trust_nakamoto", "control_locality"):
+                assert key in summary
+
+    def test_strategy_presets(self):
+        assert PlacementStrategy.cloud_only().name == "cloud-only"
+        assert PlacementStrategy.edge_centric().overflow_probability > 0
+
+
+class TestIslands:
+    def test_island_runs_workload(self):
+        island = BlockchainIsland(name="supply", domain="supply-chain", organizations=3, seed=1)
+        metrics = island.run_intra_island_workload(request_rate=150, duration=2)
+        assert metrics.committed_valid > 100
+        assert metrics.latencies.mean() < 1.0
+
+    def test_federation_interop_overhead_bounded(self):
+        federation = IslandFederation(seed=2)
+        federation.add_island(BlockchainIsland(name="trade", domain="supply-chain", seed=3))
+        federation.add_island(BlockchainIsland(name="health", domain="healthcare", seed=4))
+        federation.connect("trade", "health")
+        report = federation.interoperability_overhead("trade", "health",
+                                                      request_rate=120, duration=2)
+        assert report["cross_island_latency_s"] > report["intra_island_latency_s"]
+        assert report["overhead_factor"] < 6.0
+
+    def test_duplicate_island_rejected(self):
+        federation = IslandFederation()
+        federation.add_island(BlockchainIsland(name="a", domain="finance", organizations=3, seed=5))
+        with pytest.raises(ValueError):
+            federation.add_island(BlockchainIsland(name="a", domain="finance", organizations=3, seed=6))
+
+    def test_gateway_requires_member_islands(self):
+        federation = IslandFederation()
+        with pytest.raises(KeyError):
+            federation.connect("x", "y")
+
+    def test_federation_trust_spreads_across_orgs(self):
+        federation = IslandFederation(seed=7)
+        federation.add_island(BlockchainIsland(name="a", domain="finance", organizations=3, seed=8))
+        federation.add_island(BlockchainIsland(name="b", domain="energy", organizations=3, seed=9))
+        entities = federation.federation_trust_entities()
+        assert len(entities) == 6
+        assert sum(entities.values()) == pytest.approx(1.0)
+
+    def test_vertical_domains_listed(self):
+        assert "healthcare" in VERTICAL_DOMAINS
+        assert "supply-chain" in VERTICAL_DOMAINS
+
+
+class TestWorkloads:
+    def test_payment_workload_rate(self):
+        events = list(PaymentWorkload(rate_tps=20, seed=1).events(duration=100.0))
+        assert 1500 < len(events) < 2500
+        assert all(event.timestamp <= 100.0 for event in events)
+
+    def test_payment_transactions_valid(self):
+        txs = PaymentWorkload(rate_tps=5, seed=2).transactions(duration=20.0)
+        assert all(isinstance(tx, Transaction) for tx in txs)
+        assert all(tx.amount > 0 for tx in txs)
+
+    def test_payment_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PaymentWorkload(rate_tps=0.0)
+
+    def test_lookup_workload_keys(self):
+        events = list(LookupWorkload(rate_per_second=10, keys=100, seed=3).events(duration=30.0))
+        assert all(event.kind == "lookup" for event in events)
+        assert len(events) > 100
+
+    def test_zipf_objects_skewed(self):
+        workload = ZipfObjectWorkload(objects=1000, zipf_exponent=1.1, seed=4)
+        requests = workload.requests(2000)
+        popular = sum(1 for r in requests if int(str(r["object_id"]).split("-")[1]) <= 100)
+        assert popular / len(requests) > 0.4
+
+    def test_vertical_workload_domains(self):
+        for domain in VerticalWorkload.DOMAINS:
+            invocation = VerticalWorkload(domain, seed=5).invocation()
+            assert "chaincode" in invocation
+            assert "args" in invocation
+
+    def test_vertical_workload_unknown_domain(self):
+        with pytest.raises(ValueError):
+            VerticalWorkload("gaming")
+
+    def test_vertical_workload_event_stream(self):
+        events = list(VerticalWorkload("supply-chain", rate_tps=30, seed=6).events(duration=10.0))
+        assert len(events) > 100
+        assert all(event.kind == "supply-chain" for event in events)
+
+
+class TestDecisionFramework:
+    def test_consortium_without_mutual_trust_gets_permissioned(self):
+        result = recommend_architecture(DecisionInput(
+            participants_known=True, participants_mutually_trusting=False,
+        ))
+        assert result.architecture == "permissioned-blockchain"
+        assert result.is_blockchain()
+
+    def test_latency_sensitive_consortium_gets_edge_centric(self):
+        result = recommend_architecture(DecisionInput(
+            participants_known=True, participants_mutually_trusting=False,
+            latency_sensitive=True,
+        ))
+        assert result.architecture == "edge-centric-permissioned-blockchain"
+
+    def test_trusted_operator_gets_cloud(self):
+        result = recommend_architecture(DecisionInput(single_trusted_operator_acceptable=True))
+        assert result.architecture in ("centralized-cloud", "edge-plus-cloud")
+        assert not result.is_blockchain()
+
+    def test_open_anonymous_participation_gets_permissionless_with_warnings(self):
+        result = recommend_architecture(DecisionInput(
+            open_anonymous_participation_required=True,
+            throughput_tps_required=1000,
+            latency_sensitive=True,
+        ))
+        assert result.architecture == "permissionless-blockchain"
+        assert len(result.warnings) >= 2
+
+    def test_decision_matrix_covers_section_v_use_cases(self):
+        rows = decision_matrix()
+        by_case = {row["use_case"]: row["recommendation"] for row in rows}
+        assert by_case["supply-chain"] == "permissioned-blockchain"
+        assert "permissioned" in by_case["smart-grid"]
+        assert by_case["consumer-web-app"] in ("centralized-cloud", "edge-plus-cloud")
+        assert by_case["censorship-resistant-currency"] == "permissionless-blockchain"
+
+
+class TestClaimsRegistry:
+    def test_sixteen_claims_registered(self):
+        assert len(CLAIMS) == 16
+        assert set(claims_by_id().keys()) == {f"E{i}" for i in range(1, 17)}
+
+    def test_every_claim_names_a_benchmark_and_modules(self):
+        for claim in CLAIMS:
+            assert claim.benchmark.startswith("benchmarks/test_")
+            assert len(claim.modules) >= 1
+            assert claim.section
+            assert claim.statement
+
+
+class TestArchitectureComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_architectures(seed=2, pow_blocks=25, fabric_rate=1000, fabric_duration=3)
+
+    def test_all_architectures_present(self, comparison):
+        names = {row["architecture"] for row in comparison.rows()}
+        assert names == {
+            "bitcoin-pow", "ethereum-pow", "permissioned-fabric",
+            "centralized-cloud", "edge-federation",
+        }
+
+    def test_throughput_ordering_matches_paper(self, comparison):
+        profiles = comparison.profiles
+        assert profiles["bitcoin-pow"].throughput_tps < profiles["ethereum-pow"].throughput_tps * 2
+        assert profiles["ethereum-pow"].throughput_tps < 50
+        assert profiles["permissioned-fabric"].throughput_tps > 100
+        assert profiles["centralized-cloud"].throughput_tps > profiles["permissioned-fabric"].throughput_tps
+
+    def test_permissionless_energy_dwarfs_everything(self, comparison):
+        profiles = comparison.profiles
+        assert profiles["bitcoin-pow"].energy_per_tx_kwh > 1e5 * profiles["permissioned-fabric"].energy_per_tx_kwh
+
+    def test_trust_decentralization(self, comparison):
+        profiles = comparison.profiles
+        assert profiles["centralized-cloud"].trust_nakamoto == 1
+        assert profiles["permissioned-fabric"].trust_nakamoto > 1
+        assert profiles["edge-federation"].trust_nakamoto > 1
+
+    def test_finality_gap(self, comparison):
+        profiles = comparison.profiles
+        assert profiles["bitcoin-pow"].finality_latency_s > 1000
+        assert profiles["permissioned-fabric"].finality_latency_s < 1.0
+
+    def test_throughput_gap_is_orders_of_magnitude(self, comparison):
+        assert comparison.throughput_gap("permissioned-fabric", "bitcoin-pow") > 20

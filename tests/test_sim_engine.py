@@ -1,0 +1,229 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Event, Process, SimulationError, Simulator, Timeout
+
+
+class TestScheduling:
+    def test_schedule_runs_callback_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 5.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, 3)
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(2.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for index in range(10):
+            sim.schedule(1.0, order.append, index)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == []
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["late"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.5, fired.append, "x")
+        sim.run()
+        assert sim.now == 7.5
+
+    def test_max_events_limits_processing(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        processed = sim.run(max_events=4)
+        assert processed == 4
+        assert sim.pending == 6
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        results = []
+
+        def outer():
+            results.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            results.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert results == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_drain_discards_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.drain()
+        assert sim.pending == 0
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.processed == 2
+
+
+class TestEvents:
+    def test_event_triggers_once(self):
+        sim = Simulator()
+        event = sim.event("once")
+        event.succeed(42)
+        with pytest.raises(SimulationError):
+            event.succeed(43)
+
+    def test_event_delivers_value_to_waiter(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.schedule(3.0, event.succeed, "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_waiting_on_already_triggered_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("early")
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == ["early"]
+
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        events = [sim.event(str(i)) for i in range(3)]
+        combined = sim.all_of(events)
+        for index, event in enumerate(events):
+            sim.schedule(float(index + 1), event.succeed, index)
+        sim.run()
+        assert combined.triggered
+        assert combined.value == [0, 1, 2]
+
+    def test_all_of_empty_triggers_immediately(self):
+        sim = Simulator()
+        combined = sim.all_of([])
+        assert combined.triggered
+
+    def test_any_of_triggers_on_first(self):
+        sim = Simulator()
+        events = [sim.event(str(i)) for i in range(3)]
+        combined = sim.any_of(events)
+        sim.schedule(2.0, events[1].succeed, "second")
+        sim.schedule(5.0, events[0].succeed, "first-late")
+        sim.run()
+        assert combined.triggered
+        assert combined.value == "second"
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(5.0)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [5.0, 7.5]
+
+    def test_process_return_value_on_done_event(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return "finished"
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.done.triggered
+        assert process.done.value == "finished"
+
+    def test_process_waits_on_another_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield Timeout(4.0)
+            return "child-result"
+
+        def parent():
+            child_process = sim.spawn(child())
+            value = yield child_process
+            log.append((sim.now, value))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [(4.0, "child-result")]
+
+    def test_interrupted_process_never_resumes(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(1.0)
+            log.append("should not happen")
+
+        process = sim.spawn(proc())
+        process.interrupt()
+        sim.run()
+        assert log == []
+        assert not process.alive
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a timeout"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
