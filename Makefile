@@ -1,0 +1,15 @@
+PY := python
+
+.PHONY: test bench bench-update
+
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Run the core perf suite (<60 s) and fail if engine events/sec regresses
+# more than 20% from the committed BENCH_core.json baseline.
+bench:
+	PYTHONPATH=src $(PY) -m benchmarks.perf_report
+
+# Refresh the results section of BENCH_core.json (seed_baseline is kept).
+bench-update:
+	PYTHONPATH=src $(PY) -m benchmarks.perf_report --update

@@ -1,0 +1,5 @@
+"""Benchmark package: paper-claim experiments plus the core perf suite.
+
+``python -m benchmarks.perf_report`` runs the core microbenchmarks and
+checks them against the committed ``BENCH_core.json`` baseline.
+"""

@@ -1,0 +1,147 @@
+"""Perf-trajectory runner for the simulation core.
+
+Measures the core microbenchmarks (see :mod:`benchmarks.perf_core`) and
+maintains ``BENCH_core.json`` at the repository root:
+
+``python -m benchmarks.perf_report``
+    Measure and compare against the committed baseline.  Exits non-zero if
+    engine events/sec regresses more than 20% (other workloads warn only).
+``python -m benchmarks.perf_report --update``
+    Measure and rewrite the ``results`` section of ``BENCH_core.json``
+    (the ``seed_baseline`` section is preserved — it records the PR-1 seed
+    engine once and is the fixed origin of the perf trajectory).
+
+The whole suite finishes in well under 60 seconds; every rate is the best
+of several repeats to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import date
+from pathlib import Path
+from typing import Dict
+
+from benchmarks.perf_core import (
+    engine_events,
+    engine_waiters,
+    network_messages,
+    pow_blocks,
+    rate,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+SCHEMA = "bench-core/v1"
+#: Engine events/sec may not drop more than this fraction below the
+#: committed baseline before the check fails.
+REGRESSION_TOLERANCE = 0.20
+
+#: Workload descriptions recorded alongside the numbers so the JSON is
+#: self-explaining for future PRs.
+WORKLOAD_NOTES = {
+    "engine_events_per_sec": (
+        "Simulator event loop: 200k events, half a 1024-timer ring (heap "
+        "discipline), half a zero-delay cascade (now-bucket discipline); "
+        "best of 5"
+    ),
+    "engine_waiters_per_sec": (
+        "all_of fan-in barriers, 8 events per round, 20k logical waiter "
+        "completions; best of 3"
+    ),
+    "network_messages_per_sec": (
+        "Network.send ping ring, 32 nodes in 2 regions, 60k deliveries "
+        "with jitter sampling; best of 3"
+    ),
+    "pow_blocks_per_sec": (
+        "End-to-end PoWNetwork, 8 miners, 150 main-chain blocks, seed 0; "
+        "best of 5"
+    ),
+}
+
+
+def measure() -> Dict[str, float]:
+    """Run every core workload and return work-units-per-second rates."""
+    return {
+        "engine_events_per_sec": rate(engine_events, repeats=5),
+        "engine_waiters_per_sec": rate(engine_waiters, repeats=3),
+        "network_messages_per_sec": rate(network_messages, repeats=3),
+        "pow_blocks_per_sec": rate(pow_blocks, repeats=5, blocks=150),
+    }
+
+
+def load_baseline() -> Dict:
+    if BENCH_PATH.exists():
+        return json.loads(BENCH_PATH.read_text())
+    return {}
+
+
+def check(results: Dict[str, float], baseline: Dict) -> int:
+    """Compare fresh results against the committed baseline; 0 == pass."""
+    committed = baseline.get("results", {})
+    if not committed:
+        print("no committed BENCH_core.json baseline; nothing to check")
+        return 0
+    status = 0
+    for key, fresh in results.items():
+        reference = committed.get(key)
+        if not reference:
+            continue
+        change = fresh / reference - 1.0
+        marker = "ok"
+        if change < -REGRESSION_TOLERANCE:
+            if key == "engine_events_per_sec":
+                marker = "FAIL"
+                status = 1
+            else:
+                marker = "warn"
+        print(
+            f"{key:28s} {fresh:12.0f} vs baseline {reference:12.0f} "
+            f"({change:+.1%}) {marker}"
+        )
+    return status
+
+
+def write(results: Dict[str, float], baseline: Dict) -> None:
+    document = {
+        "schema": SCHEMA,
+        "updated": date.today().isoformat(),
+        "python": platform.python_version(),
+        "seed_baseline": baseline.get("seed_baseline", {}),
+        "results": {key: round(value, 1) for key, value in results.items()},
+        "workloads": WORKLOAD_NOTES,
+    }
+    seed = document["seed_baseline"]
+    if seed:
+        document["speedup_vs_seed"] = {
+            key: round(results[key] / seed[key], 2)
+            for key in results
+            if seed.get(key)
+        }
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_PATH}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the BENCH_core.json results section with fresh numbers",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline()
+    results = measure()
+    for key, value in results.items():
+        print(f"{key:28s} {value:12.0f}")
+    if args.update:
+        write(results, baseline)
+        return 0
+    return check(results, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -283,13 +283,11 @@ class PoWNetwork:
         node.tree.add(block)
         self.metrics.counter("blocks_mined").increment()
         self._record_global(block)
-        # Broadcast to every other miner (pools are densely connected).
-        for other in self.nodes.values():
-            if other.node_id == node.node_id:
-                continue
-            self.network.send(
-                node.node_id, other.node_id, "block", block, size_bytes=self._block_size(block)
-            )
+        # Broadcast to every other miner (pools are densely connected); the
+        # batch path hoists per-message lookups and hits the link cache.
+        self.network.broadcast(
+            node.node_id, self.nodes.keys(), "block", block, size_bytes=self._block_size(block)
+        )
 
     def _record_global(self, block: Block) -> None:
         if self.global_tree.contains(block.hash) or not self.global_tree.contains(

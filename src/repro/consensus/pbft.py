@@ -143,8 +143,7 @@ class PBFTReplica(CpuBoundNode):
         state.request_times = batch_requests
         state.request_count = len(batch_requests)
         state.prepares.add(self.node_id)
-        for peer in self._peers():
-            self.send(peer, "pre_prepare", payload, size_bytes=size)
+        self.broadcast(self._peers(), "pre_prepare", payload, size_bytes=size)
         # The primary also participates in the prepare phase.
         self._broadcast_prepare(self.view, sequence)
 
@@ -170,8 +169,7 @@ class PBFTReplica(CpuBoundNode):
         state = self._batch(view, sequence)
         state.prepares.add(self.node_id)
         payload = {"view": view, "sequence": sequence}
-        for peer in self._peers():
-            self.send(peer, "prepare", payload, size_bytes=self.params.message_bytes)
+        self.broadcast(self._peers(), "prepare", payload, size_bytes=self.params.message_bytes)
         self._check_prepared(view, sequence)
 
     def on_prepare(self, message) -> None:
@@ -191,8 +189,7 @@ class PBFTReplica(CpuBoundNode):
             state.prepared = True
             state.commits.add(self.node_id)
             payload = {"view": view, "sequence": sequence}
-            for peer in self._peers():
-                self.send(peer, "commit", payload, size_bytes=self.params.message_bytes)
+            self.broadcast(self._peers(), "commit", payload, size_bytes=self.params.message_bytes)
             self._check_committed(view, sequence)
 
     def on_commit(self, message) -> None:

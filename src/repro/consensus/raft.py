@@ -100,8 +100,7 @@ class RaftNode(CpuBoundNode):
         self.voted_for = self.index
         self.votes = {self.index}
         payload = {"term": self.term, "candidate": self.index}
-        for peer in self._peers():
-            self.send(peer, "request_vote", payload, size_bytes=self.params.message_bytes)
+        self.broadcast(self._peers(), "request_vote", payload, size_bytes=self.params.message_bytes)
         self._reset_election_timer()
 
     def _peers(self) -> List[str]:
@@ -147,8 +146,7 @@ class RaftNode(CpuBoundNode):
         if self.role != "leader" or not self.online:
             return
         payload = {"term": self.term, "leader": self.index, "entries": [], "commit_index": self.commit_index}
-        for peer in self._peers():
-            self.send(peer, "append_entries", payload, size_bytes=self.params.message_bytes)
+        self.broadcast(self._peers(), "append_entries", payload, size_bytes=self.params.message_bytes)
         self.sim.schedule(self.cluster.config.heartbeat_interval, self._send_heartbeats)
 
     # ------------------------------------------------------------------
@@ -183,8 +181,7 @@ class RaftNode(CpuBoundNode):
             "commit_index": self.commit_index,
         }
         size = self.params.message_bytes + self.cluster.config.request_bytes * len(batch)
-        for peer in self._peers():
-            self.send(peer, "append_entries", payload, size_bytes=size)
+        self.broadcast(self._peers(), "append_entries", payload, size_bytes=size)
 
     def on_append_entries(self, message) -> None:
         payload = message.payload

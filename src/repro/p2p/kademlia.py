@@ -278,10 +278,14 @@ class IterativeLookup:
     # ------------------------------------------------------------------
     def handle_reply(self, responder: int, contacts: List[int]) -> None:
         """Process a FIND_NODE response from ``responder``."""
-        rpc_ids = [rid for rid, (contact, _) in self.in_flight.items() if contact == responder]
-        if not rpc_ids or self.finished:
+        if self.finished:
             return
-        rpc_id = rpc_ids[0]
+        rpc_id = next(
+            (rid for rid, (contact, _) in self.in_flight.items() if contact == responder),
+            None,
+        )
+        if rpc_id is None:
+            return
         _, timer = self.in_flight.pop(rpc_id)
         timer.cancel()
         _ACTIVE_LOOKUPS.pop(rpc_id, None)

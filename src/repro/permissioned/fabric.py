@@ -221,8 +221,12 @@ class _Client(CpuBoundNode):
             "submitted_at": self.sim.now,
         }
         payload = {"tx_id": tx_id, "channel": channel.name, "chaincode": chaincode, "args": args}
-        for peer in endorsers:
-            self.send(peer.node_id, "proposal", payload, size_bytes=self.fabric.config.proposal_bytes)
+        self.broadcast(
+            [peer.node_id for peer in endorsers],
+            "proposal",
+            payload,
+            size_bytes=self.fabric.config.proposal_bytes,
+        )
         return tx_id
 
     def on_endorsement(self, message) -> None:
@@ -391,16 +395,16 @@ class FabricNetwork:
         }
         block_bytes = 200 + 500 * len(batch)
         delay = channel.ordering.ordering_latency()
-        for peer in self.channel_peers(channel_name):
-            self.sim.schedule(
-                delay,
-                self.network.send,
-                "orderer",
-                peer.node_id,
-                "commit_block",
-                payload,
-                block_bytes,
-            )
+        peer_ids = [peer.node_id for peer in self.channel_peers(channel_name)]
+        self.sim.schedule(
+            delay,
+            self.network.broadcast,
+            "orderer",
+            peer_ids,
+            "commit_block",
+            payload,
+            block_bytes,
+        )
 
     def notify_commit(self, peer_id: str, channel: str, block_number: int, outcomes) -> None:
         """Record client-visible commit once the first peer commits the block."""

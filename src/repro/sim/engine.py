@@ -11,45 +11,124 @@ The engine provides two complementary programming models:
   event is triggered).  This is the SimPy-style model and is convenient for
   multi-step protocols such as DHT lookups or PBFT rounds.
 
-The event queue is a binary heap ordered by ``(time, sequence)`` so that
-events scheduled at the same instant fire in scheduling order, which keeps
-runs fully deterministic for a given seed.
+Fast-path invariants
+--------------------
+The hot loop is tuned for throughput; every change must preserve these
+invariants, which the determinism tests pin down:
+
+* **Total order.** Entries execute in strict ``(time, seq)`` order, where
+  ``seq`` is the global scheduling sequence number.  Events scheduled at the
+  same instant therefore fire in scheduling order, which keeps runs fully
+  deterministic for a given seed.
+* **Two queues, one order.** Entries with a positive delay live in a binary
+  heap; entries scheduled with ``delay == 0`` go to a FIFO *now-bucket*
+  (``collections.deque``), making immediate events (event triggers, process
+  resumes, zero-delay cascades) O(1) instead of O(log n).  The run loop
+  merges both sources by comparing ``(time, seq)``, so the observable order
+  is identical to a single heap.  All bucket entries carry ``time == now``:
+  the clock never advances while the bucket is non-empty.
+* **C-speed comparisons.** Heap entries are ``list`` subclasses laid out as
+  ``[time, seq, callback, args, sim]`` so ``heapq`` compares them with the
+  C list comparison (time first, then the unique ``seq`` — the callback is
+  never compared).
+* **O(1) accounting.** ``Simulator.pending`` is a live counter maintained by
+  ``schedule``/``cancel``/the run loop — never a queue scan.  Cancellation
+  sets the entry's callback slot to ``None``; the loop skips such entries
+  when they surface.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Interrupted",
+    "INTERRUPTED",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
 
 
-@dataclass(order=True)
-class _ScheduledCall:
-    """Internal heap entry: a callback to run at a virtual time."""
+class _ScheduledCall(list):
+    """Internal queue entry: ``[time, seq, callback, args, sim]``.
 
-    time: float
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    Subclassing ``list`` keeps heap comparisons in C: entries order by
+    ``time`` then by the unique ``seq``, so the callback slot is never
+    reached by a comparison.  Cancellation clears the callback slot and
+    immediately decrements the simulator's live-entry counter, making both
+    :meth:`cancel` and :attr:`Simulator.pending` O(1).
+    """
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def callback(self) -> Optional[Callable[..., Any]]:
+        return self[2]
+
+    @property
+    def args(self) -> tuple:
+        return self[3]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None
 
     def cancel(self) -> None:
-        """Prevent the callback from running when its time arrives."""
-        self.cancelled = True
+        """Prevent the callback from running when its time arrives (O(1))."""
+        if self[2] is not None:
+            self[2] = None
+            self[3] = ()
+            sim = self[4]
+            if sim is not None:
+                sim._live -= 1
+                self[4] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self[2] is None else "pending"
+        return f"_ScheduledCall(t={self[0]!r}, seq={self[1]!r}, {state})"
+
+
+class Interrupted:
+    """Sentinel delivered on a process's ``done`` event when interrupted."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "INTERRUPTED"
+
+
+#: Singleton sentinel value delivered by :meth:`Process.interrupt`.
+INTERRUPTED = Interrupted()
 
 
 class Event:
-    """A one-shot event that processes can wait on.
+    """A one-shot event that processes (and plain callbacks) can wait on.
 
     An event starts *pending*; calling :meth:`succeed` (optionally with a
-    value) triggers it, resuming every process that was waiting on it.
+    value) triggers it, resuming every process that was waiting on it and
+    scheduling every callback registered with :meth:`add_callback`.
     Triggering an event twice is an error.
     """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters", "_callbacks")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -57,6 +136,7 @@ class Event:
         self.triggered = False
         self.value: Any = None
         self._waiters: List["Process"] = []
+        self._callbacks: List[Callable[[Any], None]] = []
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event, delivering ``value`` to all waiting processes."""
@@ -64,9 +144,17 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self.sim.schedule(0.0, process._resume, value)
+        schedule = self.sim.schedule
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            for process in waiters:
+                schedule(0.0, process._resume, value)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                schedule(0.0, callback, value)
         return self
 
     def add_waiter(self, process: "Process") -> None:
@@ -76,17 +164,33 @@ class Event:
         else:
             self._waiters.append(process)
 
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Schedule ``callback(value)`` when the event triggers.
+
+        This is the lightweight alternative to spawning a waiter process: a
+        single zero-delay entry on the now-bucket, no generator machinery.
+        """
+        if self.triggered:
+            self.sim.schedule(0.0, callback, self.value)
+        else:
+            self._callbacks.append(callback)
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "triggered" if self.triggered else "pending"
         return f"Event({self.name!r}, {state})"
 
 
-@dataclass
 class Timeout:
     """Yielded by a process generator to sleep for ``delay`` virtual seconds."""
 
-    delay: float
-    value: Any = None
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Timeout({self.delay!r}, {self.value!r})"
 
 
 class Process:
@@ -101,8 +205,12 @@ class Process:
       is sent back.
 
     When the generator returns, :attr:`done` becomes an event triggered with
-    the generator's return value.
+    the generator's return value.  When the process is interrupted,
+    :attr:`done` triggers with the :data:`INTERRUPTED` sentinel so that
+    waiters (``all_of``/``any_of``/other processes) never hang.
     """
+
+    __slots__ = ("sim", "generator", "name", "done", "alive")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         self.sim = sim
@@ -117,8 +225,17 @@ class Process:
         return self
 
     def interrupt(self) -> None:
-        """Stop the process; it will never be resumed again."""
+        """Stop the process; it will never be resumed again.
+
+        The ``done`` event triggers with :data:`INTERRUPTED` so that anything
+        waiting on the process (joins, ``all_of`` groups) is released rather
+        than hanging forever.
+        """
+        if not self.alive:
+            return
         self.alive = False
+        if not self.done.triggered:
+            self.done.succeed(INTERRUPTED)
 
     def _resume(self, value: Any) -> None:
         if not self.alive:
@@ -150,7 +267,10 @@ class Process:
 
 
 class Simulator:
-    """Heap-based discrete-event simulator with a virtual clock.
+    """Discrete-event simulator with a virtual clock.
+
+    Entries are kept in a binary heap plus a FIFO now-bucket for zero-delay
+    entries; see the module docstring for the fast-path invariants.
 
     Example
     -------
@@ -158,14 +278,19 @@ class Simulator:
     >>> fired = []
     >>> handle = sim.schedule(5.0, fired.append, "hello")
     >>> sim.run()
+    1
     >>> sim.now, fired
     (5.0, ['hello'])
     """
 
+    __slots__ = ("now", "_queue", "_bucket", "_seq", "_live", "_processed", "_running")
+
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = float(start_time)
         self._queue: List[_ScheduledCall] = []
-        self._seq = itertools.count()
+        self._bucket: Deque[_ScheduledCall] = deque()
+        self._seq = 0
+        self._live = 0
         self._processed = 0
         self._running = False
 
@@ -176,10 +301,17 @@ class Simulator:
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> _ScheduledCall:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
+        if delay > 0:
+            self._seq = seq = self._seq + 1
+            entry = _ScheduledCall((self.now + delay, seq, callback, args, self))
+            heappush(self._queue, entry)
+        elif delay == 0:
+            self._seq = seq = self._seq + 1
+            entry = _ScheduledCall((self.now, seq, callback, args, self))
+            self._bucket.append(entry)
+        else:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        entry = _ScheduledCall(self.now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._queue, entry)
+        self._live += 1
         return entry
 
     def schedule_at(
@@ -203,19 +335,63 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[_ScheduledCall]:
+        """Pop the next entry in ``(time, seq)`` order across both queues."""
+        queue = self._queue
+        bucket = self._bucket
+        if bucket:
+            if queue:
+                head = queue[0]
+                b = bucket[0]
+                if head[0] > b[0] or (head[0] == b[0] and head[1] > b[1]):
+                    return bucket.popleft()
+                return heappop(queue)
+            return bucket.popleft()
+        if queue:
+            return heappop(queue)
+        return None
+
+    def _peek_next(self) -> Optional[_ScheduledCall]:
+        """The next live entry without popping it (cancelled ones are popped)."""
+        queue = self._queue
+        bucket = self._bucket
+        while queue or bucket:
+            if bucket:
+                if queue:
+                    head = queue[0]
+                    b = bucket[0]
+                    if head[0] > b[0] or (head[0] == b[0] and head[1] > b[1]):
+                        nxt, from_bucket = b, True
+                    else:
+                        nxt, from_bucket = head, False
+                else:
+                    nxt, from_bucket = bucket[0], True
+            else:
+                nxt, from_bucket = queue[0], False
+            if nxt[2] is not None:
+                return nxt
+            if from_bucket:
+                bucket.popleft()
+            else:
+                heappop(queue)
+        return None
+
     def step(self) -> bool:
-        """Run the single next event.  Returns ``False`` if the queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.cancelled:
+        """Run the single next event.  Returns ``False`` if nothing is queued."""
+        while True:
+            entry = self._pop_next()
+            if entry is None:
+                return False
+            callback = entry[2]
+            if callback is None:
                 continue
-            if entry.time < self.now - 1e-12:
+            if entry[0] < self.now - 1e-12:
                 raise SimulationError("event queue time went backwards")
-            self.now = entry.time
-            entry.callback(*entry.args)
+            self.now = entry[0]
+            self._live -= 1
+            callback(*entry[3])
             self._processed += 1
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue empties, ``until`` is reached, or
@@ -225,23 +401,59 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         processed = 0
+        queue = self._queue
+        bucket = self._bucket
+        pop = heappop
+        popleft = bucket.popleft
         try:
-            while self._queue:
-                if max_events is not None and processed >= max_events:
-                    break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    self.now = until
-                    break
-                self.step()
-                processed += 1
+            if until is None and max_events is None:
+                # Fast path: no horizon, no cap — the tight loop the
+                # benchmarks measure.  Merged (time, seq) pop inlined.
+                while True:
+                    if bucket:
+                        if queue:
+                            head = queue[0]
+                            b = bucket[0]
+                            if head[0] > b[0] or (head[0] == b[0] and head[1] > b[1]):
+                                entry = popleft()
+                            else:
+                                entry = pop(queue)
+                        else:
+                            entry = popleft()
+                    elif queue:
+                        entry = pop(queue)
+                    else:
+                        break
+                    callback = entry[2]
+                    if callback is None:
+                        continue
+                    self.now = entry[0]
+                    self._live -= 1
+                    callback(*entry[3])
+                    processed += 1
             else:
-                if until is not None and until > self.now:
-                    self.now = until
+                while True:
+                    if max_events is not None and processed >= max_events:
+                        break
+                    nxt = self._peek_next()
+                    if nxt is None:
+                        # Queue exhausted: the clock still advances to the
+                        # requested horizon.
+                        if until is not None and until > self.now:
+                            self.now = until
+                        break
+                    if until is not None and nxt[0] > until:
+                        self.now = until
+                        break
+                    entry = self._pop_next()
+                    self.now = entry[0]
+                    # Decrement before invoking: a raising callback must not
+                    # leave its (already popped) entry counted as pending.
+                    self._live -= 1
+                    entry[2](*entry[3])
+                    processed += 1
         finally:
+            self._processed += processed
             self._running = False
         return processed
 
@@ -250,8 +462,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -260,29 +472,40 @@ class Simulator:
 
     def drain(self) -> None:
         """Drop every pending event without running it."""
+        for entry in self._queue:
+            entry[2] = None
+            entry[3] = ()
+            entry[4] = None
+        for entry in self._bucket:
+            entry[2] = None
+            entry[3] = ()
+            entry[4] = None
         self._queue.clear()
+        self._bucket.clear()
+        self._live = 0
 
     def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
         """Return an event that triggers once every event in ``events`` has."""
         events = list(events)
         combined = self.event(name=name)
-        remaining = {"count": len(events)}
-        if remaining["count"] == 0:
+        count = len(events)
+        if count == 0:
             combined.succeed([])
             return combined
-        values: List[Any] = [None] * len(events)
+        remaining = [count]
+        values: List[Any] = [None] * count
 
-        def _make_waiter(index: int) -> Callable[[Any], None]:
+        def _make_callback(index: int) -> Callable[[Any], None]:
             def _on_trigger(value: Any) -> None:
                 values[index] = value
-                remaining["count"] -= 1
-                if remaining["count"] == 0 and not combined.triggered:
+                remaining[0] -= 1
+                if remaining[0] == 0 and not combined.triggered:
                     combined.succeed(values)
 
             return _on_trigger
 
         for index, event in enumerate(events):
-            _attach_callback(self, event, _make_waiter(index))
+            event.add_callback(_make_callback(index))
         return combined
 
     def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
@@ -294,15 +517,10 @@ class Simulator:
                 combined.succeed(value)
 
         for event in events:
-            _attach_callback(self, event, _on_trigger)
+            event.add_callback(_on_trigger)
         return combined
 
 
 def _attach_callback(sim: Simulator, event: Event, callback: Callable[[Any], None]) -> None:
-    """Attach a plain callback to an event by wrapping it in a tiny process."""
-
-    def _waiter() -> Generator:
-        value = yield event
-        callback(value)
-
-    sim.spawn(_waiter(), name=f"waiter:{event.name}")
+    """Attach a plain callback to an event (kept for back-compat)."""
+    event.add_callback(callback)

@@ -8,12 +8,23 @@ derived from region-to-region latency defaults, which is how the blockchain
 and edge simulators model geo-distribution without a full topology.
 
 Partitions and crashed nodes are modelled by dropping messages.
+
+Fast path
+---------
+``send``/``broadcast`` resolve a per-pair ``(mean latency, bandwidth, loss)``
+triple through a cache keyed on ``(sender, recipient)`` so the region/link
+lookup chain runs once per pair instead of once per message.  The cache is
+invalidated by every topology mutation (``register``/``unregister``/
+``set_link``); mutate :attr:`params` only before traffic starts, or call
+:meth:`invalidate_link_cache` afterwards.  The RNG draw sequence (optional
+loss Bernoulli, then jitter log-normal, per recipient in order) is part of
+the determinism contract and must not change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeededRNG
@@ -58,23 +69,62 @@ class Link:
     loss_rate: Optional[float] = None
 
 
-@dataclass
 class Message:
-    """A message in flight between two nodes."""
+    """A message in flight between two nodes.
 
-    sender: NodeId
-    recipient: NodeId
-    msg_type: str
-    payload: Any = None
-    size_bytes: int = 256
-    sent_at: float = 0.0
-    delivered_at: float = 0.0
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    A plain ``__slots__`` class (not a dataclass) because it is allocated
+    once per message on the hot send path.  ``metadata`` is lazily created:
+    it stays ``None`` until first accessed through :meth:`meta`, so sending
+    never builds a dict per message.
+    """
+
+    __slots__ = (
+        "sender",
+        "recipient",
+        "msg_type",
+        "payload",
+        "size_bytes",
+        "sent_at",
+        "delivered_at",
+        "metadata",
+    )
+
+    def __init__(
+        self,
+        sender: NodeId,
+        recipient: NodeId,
+        msg_type: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+        sent_at: float = 0.0,
+        delivered_at: float = 0.0,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.sender = sender
+        self.recipient = recipient
+        self.msg_type = msg_type
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+        self.metadata = metadata
 
     @property
     def latency(self) -> float:
         """Observed one-way latency once delivered."""
         return self.delivered_at - self.sent_at
+
+    def meta(self) -> Dict[str, Any]:
+        """The metadata dict, created on first use."""
+        if self.metadata is None:
+            self.metadata = {}
+        return self.metadata
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Message({self.sender!r} -> {self.recipient!r}, "
+            f"{self.msg_type!r}, {self.size_bytes}B)"
+        )
 
 
 class Network:
@@ -94,6 +144,8 @@ class Network:
         self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
         self._offline: Set[NodeId] = set()
         self._partitions: Dict[NodeId, int] = {}
+        # (sender, recipient) -> (mean_latency, bandwidth_bps, loss_rate)
+        self._resolved: Dict[Tuple[NodeId, NodeId], Tuple[float, float, float]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -105,13 +157,16 @@ class Network:
     def register(self, node_id: NodeId, handler: Handler, region: str = "default") -> None:
         """Attach a node and its message handler to the network."""
         self._handlers[node_id] = handler
-        self._regions[node_id] = region
+        if self._regions.get(node_id) != region:
+            self._regions[node_id] = region
+            self._resolved.clear()
         self._offline.discard(node_id)
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node; in-flight messages to it are dropped on delivery."""
         self._handlers.pop(node_id, None)
-        self._regions.pop(node_id, None)
+        if self._regions.pop(node_id, None) is not None:
+            self._resolved.clear()
         self._offline.discard(node_id)
 
     def set_offline(self, node_id: NodeId, offline: bool = True) -> None:
@@ -140,6 +195,12 @@ class Network:
         """Override the link characteristics for the (unordered) pair."""
         self._links[(a, b)] = link
         self._links[(b, a)] = link
+        self._resolved.pop((a, b), None)
+        self._resolved.pop((b, a), None)
+
+    def invalidate_link_cache(self) -> None:
+        """Drop every cached link resolution (after mutating :attr:`params`)."""
+        self._resolved.clear()
 
     def set_partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
         """Partition the network: messages across groups are dropped."""
@@ -158,6 +219,34 @@ class Network:
         return self._partitions.get(a, -1) == self._partitions.get(b, -1)
 
     # ------------------------------------------------------------------
+    # Link resolution
+    # ------------------------------------------------------------------
+    def _resolve_link(self, sender: NodeId, recipient: NodeId) -> Tuple[float, float, float]:
+        """Resolved ``(mean_latency, bandwidth_bps, loss_rate)`` for a pair."""
+        key = (sender, recipient)
+        resolved = self._resolved.get(key)
+        if resolved is None:
+            params = self.params
+            link = self._links.get(key)
+            if link is not None:
+                mean_latency = link.latency
+                bandwidth = link.bandwidth_bps or params.bandwidth_bps
+                loss = params.loss_rate if link.loss_rate is None else link.loss_rate
+            else:
+                regions = self._regions
+                same_region = regions.get(sender, "default") == regions.get(
+                    recipient, "default"
+                )
+                mean_latency = (
+                    params.base_latency if same_region else params.inter_region_latency
+                )
+                bandwidth = params.bandwidth_bps
+                loss = params.loss_rate
+            resolved = (mean_latency, bandwidth, loss)
+            self._resolved[key] = resolved
+        return resolved
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(
@@ -173,21 +262,32 @@ class Network:
         The returned :class:`Message` is the object the recipient's handler
         will receive (useful for tests that want to inspect timing).
         """
-        message = Message(
-            sender=sender,
-            recipient=recipient,
-            msg_type=msg_type,
-            payload=payload,
-            size_bytes=size_bytes,
-            sent_at=self.sim.now,
-        )
+        sim = self.sim
+        message = Message(sender, recipient, msg_type, payload, size_bytes, sim.now)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        if self._should_drop(sender, recipient):
+        if (
+            sender in self._offline
+            or recipient in self._offline
+            or not self._same_partition(sender, recipient)
+        ):
             self.messages_dropped += 1
             return message
-        delay = self.sample_delay(sender, recipient, size_bytes)
-        self.sim.schedule(delay, self._deliver, message)
+        mean_latency, bandwidth, loss = self._resolve_link(sender, recipient)
+        rng = self.rng
+        if loss > 0 and rng.bernoulli(loss):
+            self.messages_dropped += 1
+            return message
+        jitter_sigma = self.params.latency_jitter
+        if jitter_sigma > 0:
+            latency = mean_latency * rng.lognormal(0.0, jitter_sigma)
+        else:
+            latency = mean_latency
+        if bandwidth > 0:
+            latency += (size_bytes * 8.0) / bandwidth
+        if latency < 1e-6:
+            latency = 1e-6
+        sim.schedule(latency, self._deliver, message)
         return message
 
     def broadcast(
@@ -198,13 +298,53 @@ class Network:
         payload: Any = None,
         size_bytes: int = 256,
     ) -> int:
-        """Send the same message to every recipient; returns the count sent."""
+        """Send the same payload to every recipient; returns the count sent.
+
+        Batch fast path: per-message bookkeeping is identical to
+        :meth:`send` (same counters, same per-recipient RNG draw order) but
+        the lookups that are loop-invariant — simulator, params, offline set,
+        cache — are hoisted out of the loop.
+        """
+        sim = self.sim
+        now = sim.now
+        schedule = sim.schedule
+        deliver = self._deliver
+        offline = self._offline
+        resolve = self._resolve_link
+        rng = self.rng
+        jitter_sigma = self.params.latency_jitter
+        serial_bits = size_bytes * 8.0
+        sender_offline = sender in offline
         count = 0
+        dropped = 0
         for recipient in recipients:
             if recipient == sender:
                 continue
-            self.send(sender, recipient, msg_type, payload, size_bytes)
             count += 1
+            message = Message(sender, recipient, msg_type, payload, size_bytes, now)
+            if (
+                sender_offline
+                or recipient in offline
+                or not self._same_partition(sender, recipient)
+            ):
+                dropped += 1
+                continue
+            mean_latency, bandwidth, loss = resolve(sender, recipient)
+            if loss > 0 and rng.bernoulli(loss):
+                dropped += 1
+                continue
+            if jitter_sigma > 0:
+                latency = mean_latency * rng.lognormal(0.0, jitter_sigma)
+            else:
+                latency = mean_latency
+            if bandwidth > 0:
+                latency += serial_bits / bandwidth
+            if latency < 1e-6:
+                latency = 1e-6
+            schedule(latency, deliver, message)
+        self.messages_sent += count
+        self.bytes_sent += count * size_bytes
+        self.messages_dropped += dropped
         return count
 
     def _should_drop(self, sender: NodeId, recipient: NodeId) -> bool:
@@ -212,21 +352,12 @@ class Network:
             return True
         if not self._same_partition(sender, recipient):
             return True
-        loss = self._link_attr(sender, recipient, "loss_rate", self.params.loss_rate)
+        loss = self._resolve_link(sender, recipient)[2]
         return loss > 0 and self.rng.bernoulli(loss)
 
     def sample_delay(self, sender: NodeId, recipient: NodeId, size_bytes: int) -> float:
         """Sample the one-way delay (propagation + serialisation) for a message."""
-        link = self._links.get((sender, recipient))
-        if link is not None:
-            mean_latency = link.latency
-            bandwidth = link.bandwidth_bps or self.params.bandwidth_bps
-        else:
-            same_region = self.region_of(sender) == self.region_of(recipient)
-            mean_latency = (
-                self.params.base_latency if same_region else self.params.inter_region_latency
-            )
-            bandwidth = self.params.bandwidth_bps
+        mean_latency, bandwidth, _ = self._resolve_link(sender, recipient)
         jitter = 1.0
         if self.params.latency_jitter > 0:
             jitter = self.rng.lognormal(0.0, self.params.latency_jitter)

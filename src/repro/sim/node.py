@@ -8,7 +8,7 @@ subclass it.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Message, Network
@@ -63,6 +63,23 @@ class Node:
         if not self.online:
             return None
         return self.network.send(self.node_id, recipient, msg_type, payload, size_bytes)
+
+    def broadcast(
+        self,
+        recipients: Iterable[Hashable],
+        msg_type: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+    ) -> int:
+        """Send the same payload to every recipient via the network fast path.
+
+        Equivalent to calling :meth:`send` per recipient (same counters, same
+        RNG draw order) but with the per-message lookups hoisted; returns the
+        number of messages sent, 0 when this node is offline.
+        """
+        if not self.online:
+            return 0
+        return self.network.broadcast(self.node_id, recipients, msg_type, payload, size_bytes)
 
     def receive(self, message: Message) -> None:
         """Dispatch an incoming message to ``on_<msg_type>`` if it exists."""

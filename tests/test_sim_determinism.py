@@ -1,0 +1,92 @@
+"""Fixed-seed determinism guards for the fast-path simulation core.
+
+These tests pin the engine's execution-order contract: two runs of the same
+workload with the same seed must be bit-identical — same event counts, same
+chain statistics, same metric samples.  They were introduced alongside the
+slotted event-loop rewrite to guarantee the fast path (now-bucket merging,
+cancelled-entry skipping, cached link resolution) never changes observable
+simulation results.
+"""
+
+from repro.blockchain.network import PoWNetwork, PoWNetworkConfig
+from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
+from repro.sim.engine import Simulator
+
+
+def _pow_fingerprint(seed: int = 7):
+    network = PoWNetwork(
+        PoWNetworkConfig(miner_count=6, duration_blocks=30, seed=seed)
+    )
+    result = network.run()
+    chain = result.chain
+    return (
+        chain.total_blocks,
+        chain.main_chain_length,
+        chain.stale_blocks,
+        chain.stale_rate,
+        chain.forks_observed,
+        chain.max_reorg_depth,
+        chain.mean_interblock_time,
+        result.duration,
+        result.throughput_tps,
+        result.mean_confirmation_latency,
+        result.p90_confirmation_latency,
+        result.mean_finality_latency,
+        result.mean_propagation_delay,
+        tuple(sorted(result.blocks_by_miner.items())),
+        network.sim.processed,
+        network.network.messages_sent,
+        network.network.messages_delivered,
+        network.network.messages_dropped,
+    )
+
+
+def _dht_fingerprint(seed: int = 3):
+    experiment = LookupExperiment(
+        LookupExperimentConfig(network_size=100, lookups=30, seed=seed)
+    )
+    stats = experiment.run()
+    return (
+        stats.lookups,
+        stats.failures,
+        stats.timeouts_per_lookup,
+        stats.hops_per_lookup,
+        stats.latencies.mean(),
+        stats.latencies.percentile(90),
+        experiment.dht.sim.processed,
+    )
+
+
+class TestPoWDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        assert _pow_fingerprint(seed=7) == _pow_fingerprint(seed=7)
+
+    def test_different_seeds_diverge(self):
+        assert _pow_fingerprint(seed=7) != _pow_fingerprint(seed=8)
+
+
+class TestDHTDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        assert _dht_fingerprint(seed=3) == _dht_fingerprint(seed=3)
+
+
+class TestEngineOrderDeterminism:
+    def test_mixed_workload_event_order_is_reproducible(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+
+            def tick(label, delay):
+                order.append((label, sim.now))
+                if len(order) < 200:
+                    sim.schedule(delay, tick, label, delay)
+
+            for index in range(5):
+                sim.schedule(0.0, tick, f"t{index}", 0.5 + index * 0.25)
+            cancelled = sim.schedule(0.75, order.append, ("never", 0.0))
+            cancelled.cancel()
+            sim.schedule(0.0, order.append, ("immediate", sim.now))
+            sim.run(max_events=400)
+            return order, sim.processed, sim.pending
+
+        assert run_once() == run_once()

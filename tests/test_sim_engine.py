@@ -1,8 +1,17 @@
 """Unit tests for the discrete-event simulation engine."""
 
+import time
+
 import pytest
 
-from repro.sim.engine import Event, Process, SimulationError, Simulator, Timeout
+from repro.sim.engine import (
+    INTERRUPTED,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
 
 
 class TestScheduling:
@@ -96,6 +105,175 @@ class TestScheduling:
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert sim.processed == 2
+
+
+class TestFastPathAccounting:
+    def test_pending_reflects_cancels_without_running(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        handles[3].cancel()
+        handles[7].cancel()
+        assert sim.pending == 8
+        handles[3].cancel()  # idempotent
+        assert sim.pending == 8
+        sim.run()
+        assert sim.pending == 0
+        assert sim.processed == 8
+
+    def test_cancel_is_o1(self):
+        # Cancelling must not scan the queue: 50k cancels against a
+        # 100k-entry queue finish in well under a second, where an O(n)
+        # scan per cancel would take minutes.
+        sim = Simulator()
+        noop = lambda: None
+        handles = [sim.schedule(float(i + 1), noop) for i in range(100_000)]
+        start = time.perf_counter()
+        for handle in handles[::2]:
+            handle.cancel()
+        elapsed = time.perf_counter() - start
+        assert sim.pending == 50_000
+        assert elapsed < 1.0
+
+    def test_pending_is_o1(self):
+        sim = Simulator()
+        for i in range(50_000):
+            sim.schedule(float(i + 1), lambda: None)
+        start = time.perf_counter()
+        for _ in range(10_000):
+            sim.pending
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.5
+
+    def test_zero_delay_entry_ordered_against_same_time_heap_entry(self):
+        # A timer that lands at t=1 was scheduled before the zero-delay
+        # callback created at t=1, so it must run first.
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, order.append, "zero")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "zero"]
+
+    def test_raising_callback_does_not_corrupt_pending(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert sim.pending == 0
+        assert sim.processed == 0
+
+    def test_drain_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def drain_now():
+            fired.append("a")
+            sim.drain()
+
+        sim.schedule(1.0, drain_now)
+        sim.schedule(2.0, fired.append, "never")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.pending == 0
+
+    def test_pending_is_accurate_mid_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.pending))
+        sim.schedule(2.0, lambda: seen.append(sim.pending))
+        sim.run()
+        # While the first callback runs only the second entry is queued;
+        # while the second runs the queue is empty.
+        assert seen == [1, 0]
+
+    def test_cancelled_zero_delay_entry_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.0, fired.append, "x")
+        sim.schedule(0.0, fired.append, "y")
+        handle.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["y"]
+
+
+class TestRunEdgeCases:
+    def test_cancelled_head_entries_are_skipped_under_until(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        last = sim.schedule(3.0, fired.append, "c")
+        first.cancel()
+        last.cancel()
+        processed = sim.run(until=5.0)
+        assert processed == 1
+        assert fired == ["b"]
+        assert sim.now == 5.0
+        assert sim.pending == 0
+
+    def test_until_exactly_on_event_time_runs_the_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "on-horizon")
+        sim.schedule(5.5, fired.append, "late")
+        processed = sim.run(until=5.0)
+        assert processed == 1
+        assert fired == ["on-horizon"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["on-horizon", "late"]
+
+    def test_clock_advances_to_until_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.run(until=10.0) == 0
+        assert sim.now == 10.0
+        # A later horizon advances again; an earlier one does not rewind.
+        assert sim.run(until=25.0) == 0
+        assert sim.now == 25.0
+        assert sim.run(until=5.0) == 0
+        assert sim.now == 25.0
+
+    def test_max_events_zero_processes_nothing(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=0) == 0
+        assert sim.pending == 1
+        assert sim.now == 0.0
+
+    def test_max_events_skips_cancelled_heads_for_free(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, fired.append, "a")
+        second = sim.schedule(2.0, fired.append, "b")
+        sim.schedule(3.0, fired.append, "c")
+        first.cancel()
+        second.cancel()
+        processed = sim.run(max_events=1)
+        assert processed == 1
+        assert fired == ["c"]
+        assert sim.pending == 0
+
+    def test_step_merges_bucket_and_heap_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.0, order.append, "bucket")
+        sim.schedule(1.0, order.append, "heap")
+        assert sim.step() is True
+        assert order == ["bucket"]
+        assert sim.step() is True
+        assert order == ["bucket", "heap"]
+        assert sim.step() is False
 
 
 class TestEvents:
@@ -227,3 +405,111 @@ class TestProcesses:
         sim.spawn(proc())
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_triggers_done_with_sentinel(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        process = sim.spawn(proc())
+        sim.schedule(1.0, process.interrupt)
+        sim.run()
+        assert not process.alive
+        assert process.done.triggered
+        assert process.done.value is INTERRUPTED
+
+    def test_waiter_on_interrupted_process_is_released(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            yield Timeout(100.0)
+
+        def parent():
+            value = yield child_process
+            got.append((sim.now, value))
+
+        child_process = sim.spawn(child())
+        sim.spawn(parent())
+        sim.schedule(5.0, child_process.interrupt)
+        sim.run()
+        assert got == [(5.0, INTERRUPTED)]
+
+    def test_all_of_over_interrupted_process_does_not_hang(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+            return "ok"
+
+        def stuck():
+            yield Timeout(1000.0)
+
+        quick_process = sim.spawn(quick())
+        stuck_process = sim.spawn(stuck())
+        combined = sim.all_of([quick_process.done, stuck_process.done])
+        sim.schedule(2.0, stuck_process.interrupt)
+        sim.run(until=10.0)
+        assert combined.triggered
+        assert combined.value[0] == "ok"
+        assert combined.value[1] is INTERRUPTED
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return "finished"
+
+        process = sim.spawn(proc())
+        sim.run()
+        process.interrupt()
+        assert process.done.value == "finished"
+
+
+class TestEventCallbacks:
+    def test_add_callback_on_pending_event(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+        event.add_callback(got.append)
+        sim.schedule(3.0, event.succeed, "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_add_callback_on_triggered_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("early")
+        got = []
+        event.add_callback(got.append)
+        sim.run()
+        assert got == ["early"]
+
+    def test_callbacks_run_in_registration_order(self):
+        sim = Simulator()
+        event = sim.event()
+        order = []
+        event.add_callback(lambda value: order.append("first"))
+        event.add_callback(lambda value: order.append("second"))
+        event.succeed(None)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_all_of_does_not_spawn_processes(self):
+        # all_of must register direct callbacks, not one generator process
+        # per waited event: for n events only the n succeed() calls plus one
+        # callback each hit the scheduler.
+        sim = Simulator()
+        events = [sim.event(str(i)) for i in range(10)]
+        combined = sim.all_of(events)
+        before = sim.pending
+        assert before == 0
+        for event in events:
+            event.succeed(None)
+        sim.run()
+        assert combined.triggered
+        assert sim.processed == 10
