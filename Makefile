@@ -1,15 +1,29 @@
 PY := python
 
-.PHONY: test bench bench-update
+.PHONY: test bench bench-update experiments smoke
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
 # Run the core perf suite (<60 s) and fail if engine events/sec regresses
-# more than 20% from the committed BENCH_core.json baseline.
+# more than 20% from the committed BENCH_core.json baseline.  Kept out of CI:
+# the baselines are host-dependent (run manually / nightly).
 bench:
 	PYTHONPATH=src $(PY) -m benchmarks.perf_report
 
 # Refresh the results section of BENCH_core.json (seed_baseline is kept).
 bench-update:
 	PYTHONPATH=src $(PY) -m benchmarks.perf_report --update
+
+# Regenerate EXPERIMENTS.md from the repro.core.claims registry.
+experiments:
+	PYTHONPATH=src $(PY) -m repro.analysis.experiments
+
+# Fast end-to-end smoke of the scenario runner: one trimmed scenario per
+# architecture family, deterministic JSON to stdout.
+smoke:
+	PYTHONPATH=src $(PY) -m repro.run pow-baseline --set architecture.duration_blocks=20 --quiet --json -
+	PYTHONPATH=src $(PY) -m repro.run pbft-consortium --set duration=1.0 --quiet --json -
+	PYTHONPATH=src $(PY) -m repro.run fabric-consortium --set duration=1.0 --quiet --json -
+	PYTHONPATH=src $(PY) -m repro.run kad-lookup --set workload.lookups=20 --set topology.size=150 --quiet --json -
+	PYTHONPATH=src $(PY) -m repro.run edge-placement --set workload.requests=200 --quiet --json -

@@ -3,15 +3,17 @@
 Design-choice ablation: PBFT's all-to-all phases cost O(n^2) messages, so the
 per-request CPU and latency grow with the committee; this is the quantitative
 reason permissioned networks are run by tens, not thousands, of validators.
+
+Runs through the scenario framework: the ``bft-committee-sweep`` registry
+entry declares the committee sizes as a sweep axis over one base cluster.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.consensus.cluster import committee_size_sweep
+from repro.scenarios import run_sweep
 
 
 def _run_sweep():
-    return committee_size_sweep([4, 7, 13, 19, 25], protocol="pbft",
-                                request_rate=4000, duration=3, seed=1)
+    return [point.metrics for point in run_sweep("bft-committee-sweep")]
 
 
 def test_a02_bft_scaling(once):

@@ -4,34 +4,26 @@ Design-choice ablation: the E2/E5 conclusions should not hinge on the exact
 session-length distribution — heavy-tailed (Weibull) and memoryless
 (exponential) churn with the same mean availability produce the same
 qualitative gap between well-maintained and stale clients.
+
+Runs through the scenario framework: the ``churn-model-ablation`` registry
+entry crosses three churn-distribution variants with a kad/mainline client
+sweep (variants outer, sweep inner), so consecutive result pairs share a
+churn model.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.p2p.kademlia import KademliaConfig
-from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
-from repro.sim.churn import ChurnModel
+from repro.scenarios import run_sweep
 
 
 def _run_sweep():
-    churn_models = {
-        "weibull (heavy tail)": ChurnModel(session_distribution="weibull", mean_session=3600.0,
-                                           mean_downtime=3600.0, weibull_shape=0.5),
-        "exponential": ChurnModel(session_distribution="exponential", mean_session=3600.0,
-                                  mean_downtime=3600.0),
-        "pareto": ChurnModel(session_distribution="pareto", mean_session=3600.0,
-                             mean_downtime=3600.0),
-    }
+    points = run_sweep("churn-model-ablation")
+    # variants (churn models) expand as the outer loop, the client sweep as
+    # the inner one: [kad, mainline] per churn model.
     rows = []
-    for label, churn in churn_models.items():
-        kad = LookupExperiment(
-            LookupExperimentConfig(network_size=300, lookups=70,
-                                   kademlia=KademliaConfig.kad_like(), churn=churn, seed=5)
-        ).run()
-        mainline = LookupExperiment(
-            LookupExperimentConfig(network_size=300, lookups=70,
-                                   kademlia=KademliaConfig.mainline_like(), churn=churn, seed=5)
-        ).run()
-        rows.append((label, kad.summary(), mainline.summary()))
+    for index in range(0, len(points), 2):
+        kad, mainline = points[index], points[index + 1]
+        label = kad.label.split(", overlay=")[0]
+        rows.append((label, kad.metrics, mainline.metrics))
     return rows
 
 
@@ -51,6 +43,7 @@ def test_a04_churn_models(once):
     # Shape: regardless of the session distribution, the well-maintained client
     # answers in seconds and the stale/conservative client is an order of
     # magnitude slower — the E2 conclusion is not an artifact of the Weibull fit.
+    assert len(rows) == 3
     for label, kad, mainline in rows:
         assert kad["median_latency_s"] < 8.0
         assert mainline["median_latency_s"] > 5.0 * kad["median_latency_s"]

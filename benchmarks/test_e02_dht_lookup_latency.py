@@ -3,20 +3,20 @@
 Paper (citing Jiménez et al. [20]): "lookups were performed within 5 seconds
 90% of the time in Emule's Kad, but the median lookup time was around a
 minute in both BitTorrent DHTs".
+
+Runs through the scenario framework: the ``kad-lookup`` and
+``mainline-lookup`` registry entries carry the exact parameters this
+experiment used before the refactor.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
+from repro.scenarios import run_scenario
 
 
 def _run_both():
-    kad = LookupExperiment(
-        LookupExperimentConfig.kad_scenario(network_size=400, lookups=120, seed=3)
-    ).run()
-    mainline = LookupExperiment(
-        LookupExperimentConfig.mainline_scenario(network_size=400, lookups=120, seed=3)
-    ).run()
-    return kad.summary(), mainline.summary()
+    kad = run_scenario("kad-lookup").metrics
+    mainline = run_scenario("mainline-lookup").metrics
+    return kad, mainline
 
 
 def test_e02_dht_lookup_latency(once):

@@ -4,35 +4,18 @@ Paper: "P2P networks show high heterogeneity and high degrees of churn ...
 this can cause performance problems and latency.  When one needs any kind
 of guaranteed quality of service ... stable cloud servers have no rival in
 P2P networks."
+
+Runs through the scenario framework: the ``churn-ladder`` registry entry
+declares the four membership rungs as variants (the stable rung differs in
+both churn and routing-table freshness) over one shared client/workload.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.p2p.kademlia import KademliaConfig
-from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
-from repro.sim.churn import ChurnModel
+from repro.scenarios import run_sweep
 
 
 def _run_sweep():
-    # The stable scenario models consortium/cloud membership: nobody leaves, so
-    # routing tables never go stale.  The churny scenarios share the same
-    # client behaviour and differ only in membership dynamics.
-    stable_client = KademliaConfig.kad_like()
-    stable_client.initial_stale_fraction = 0.0
-    scenarios = [
-        ("stable (cloud-like)", None, stable_client),
-        ("moderate churn", ChurnModel.kad_like(), KademliaConfig.kad_like()),
-        ("heavy churn", ChurnModel.bittorrent_like(), KademliaConfig.kad_like()),
-        ("extreme churn", ChurnModel.aggressive(), KademliaConfig.kad_like()),
-    ]
-    rows = []
-    for label, churn, client in scenarios:
-        stats = LookupExperiment(
-            LookupExperimentConfig(
-                network_size=300, lookups=80, kademlia=client, churn=churn, seed=4,
-            )
-        ).run()
-        rows.append((label, stats.summary()))
-    return rows
+    return [(point.label, point.metrics) for point in run_sweep("churn-ladder")]
 
 
 def test_e05_churn_performance(once):

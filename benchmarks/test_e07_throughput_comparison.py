@@ -3,27 +3,20 @@
 Paper: "While VISA is processing 24,000 transactions per second, Bitcoin can
 process between 3.3 and 7 transactions per second, and Ethereum around 15
 per second."
+
+The two PoW networks run through the scenario framework (``pow-baseline``
+and ``pow-ethereum``); the cloud side is the analytic partitioned-OLTP
+ceiling, which needs no simulation.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.blockchain.network import (
-    BITCOIN_PROTOCOL,
-    ETHEREUM_PROTOCOL,
-    PoWNetwork,
-    PoWNetworkConfig,
-)
 from repro.blockchain.throughput import REFERENCE_SYSTEMS, ThroughputModel
+from repro.scenarios import run_scenario
 
 
 def _run_networks():
-    bitcoin = PoWNetwork(
-        PoWNetworkConfig(protocol=BITCOIN_PROTOCOL, miner_count=10,
-                         tx_arrival_rate=12.0, duration_blocks=80, seed=1)
-    ).run()
-    ethereum = PoWNetwork(
-        PoWNetworkConfig(protocol=ETHEREUM_PROTOCOL, miner_count=10,
-                         tx_arrival_rate=40.0, duration_blocks=320, seed=1)
-    ).run()
+    bitcoin = run_scenario("pow-baseline").metrics
+    ethereum = run_scenario("pow-ethereum").metrics
     cloud_tps = ThroughputModel().cloud_capacity_tps(partitions=16)
     return bitcoin, ethereum, cloud_tps
 
@@ -35,10 +28,10 @@ def test_e07_throughput_comparison(once):
         ["system", "measured_tps", "paper_tps", "architecture"],
         title="E7: sustained throughput (paper: 3.3-7 / ~15 / 24,000 tps)",
     )
-    table.add_row("bitcoin (simulated)", bitcoin.throughput_tps,
+    table.add_row("bitcoin (simulated)", bitcoin["throughput_tps"],
                   f"{REFERENCE_SYSTEMS['bitcoin'].paper_tps_low}-{REFERENCE_SYSTEMS['bitcoin'].paper_tps_high}",
                   "global broadcast validation")
-    table.add_row("ethereum (simulated)", ethereum.throughput_tps,
+    table.add_row("ethereum (simulated)", ethereum["throughput_tps"],
                   REFERENCE_SYSTEMS["ethereum"].paper_tps_low, "global broadcast validation")
     table.add_row("partitioned cloud (model)", cloud_tps,
                   REFERENCE_SYSTEMS["visa"].paper_tps_low, "shared-nothing partitions")
@@ -46,8 +39,8 @@ def test_e07_throughput_comparison(once):
 
     # Shape: Bitcoin lands in the paper's 3.3-7 band (allow simulation noise),
     # Ethereum around 10-25, and the cloud is three orders of magnitude above.
-    assert 3.0 <= bitcoin.throughput_tps <= 7.5
-    assert 9.0 <= ethereum.throughput_tps <= 25.0
+    assert 3.0 <= bitcoin["throughput_tps"] <= 7.5
+    assert 9.0 <= ethereum["throughput_tps"] <= 25.0
     assert cloud_tps >= 20_000.0
-    assert cloud_tps / bitcoin.throughput_tps > 1000.0
-    assert ethereum.throughput_tps > bitcoin.throughput_tps
+    assert cloud_tps / bitcoin["throughput_tps"] > 1000.0
+    assert ethereum["throughput_tps"] > bitcoin["throughput_tps"]

@@ -3,12 +3,16 @@
 Paper: "The difficulty target is periodically adjusted in such a way that a
 new block is generated every 10 minutes"; "the blockchain may occasionally
 fork ... such ephemeral forks quickly disappear".
+
+The retargeting half stays analytic (a difficulty adjuster fed synthetic
+timestamps); the fork/stale half runs through the scenario framework via
+the ``pow-fork-dynamics`` registry entry.
 """
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import ResultTable
 from repro.blockchain.mining import DifficultyAdjuster
-from repro.blockchain.network import BITCOIN_PROTOCOL, PoWNetwork, PoWNetworkConfig
+from repro.scenarios import run_scenario
 from repro.sim.rng import SeededRNG
 
 
@@ -28,16 +32,12 @@ def _run_retarget_and_forks():
             retargets += 1
 
     # Part 2: fork/stale behaviour of the simulated Bitcoin-like network.
-    network = PoWNetwork(
-        PoWNetworkConfig(protocol=BITCOIN_PROTOCOL, miner_count=12,
-                         tx_arrival_rate=5.0, duration_blocks=120, seed=2)
-    )
-    result = network.run()
-    return mean(intervals_before), mean(intervals_after), retargets, result
+    forks = run_scenario("pow-fork-dynamics").metrics
+    return mean(intervals_before), mean(intervals_after), retargets, forks
 
 
 def test_e08_mining_difficulty(once):
-    before, after, retargets, result = once(_run_retarget_and_forks)
+    before, after, retargets, forks = once(_run_retarget_and_forks)
 
     table = ResultTable(
         ["quantity", "value", "target"],
@@ -46,9 +46,9 @@ def test_e08_mining_difficulty(once):
     table.add_row("mean interval before retarget (s)", before, "150 (4x too fast)")
     table.add_row("mean interval after retargets (s)", after, 600)
     table.add_row("retargets fired", retargets, ">=1")
-    table.add_row("simulated mean block interval (s)", result.mean_block_interval, 600)
-    table.add_row("stale/orphan rate", result.stale_rate, "~1%")
-    table.add_row("max reorg depth", result.chain.max_reorg_depth, "small")
+    table.add_row("simulated mean block interval (s)", forks["mean_block_interval_s"], 600)
+    table.add_row("stale/orphan rate", forks["stale_rate"], "~1%")
+    table.add_row("max reorg depth", forks["max_reorg_depth"], "small")
     table.print()
 
     # Shape: before the retarget blocks arrive ~4x too fast; afterwards the
@@ -57,6 +57,6 @@ def test_e08_mining_difficulty(once):
     assert retargets >= 1
     assert 400.0 <= after <= 800.0
     # Shape: forks are rare and shallow at Bitcoin-like propagation/interval ratios.
-    assert result.stale_rate <= 0.05
-    assert result.chain.max_reorg_depth <= 2
-    assert 400.0 <= result.mean_block_interval <= 850.0
+    assert forks["stale_rate"] <= 0.05
+    assert forks["max_reorg_depth"] <= 2
+    assert 400.0 <= forks["mean_block_interval_s"] <= 850.0

@@ -4,23 +4,20 @@ Paper: "Alternative approaches based on proof-of-X, where X could be stake,
 space, activity, etc. seem not be able to fully address this problem so far",
 citing Houy's "It will cost you nothing to 'kill' a proof-of-stake
 crypto-currency".
+
+The two validator-behaviour runs go through the scenario framework
+(``pos-nothing-at-stake`` and ``pos-slashing``); the attack-cost comparison
+is analytic.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.blockchain.proof_of_stake import (
-    NothingAtStakeModel,
-    ProofOfStakeParams,
-    attack_cost_comparison,
-)
+from repro.blockchain.proof_of_stake import attack_cost_comparison
+from repro.scenarios import run_scenario
 
 
 def _run_models():
-    naive = NothingAtStakeModel(
-        ProofOfStakeParams(slashing_enabled=False, multi_vote_fraction=0.9, rounds=3000, seed=1)
-    ).run()
-    slashing = NothingAtStakeModel(
-        ProofOfStakeParams(slashing_enabled=True, rounds=3000, seed=1)
-    ).run()
+    naive = run_scenario("pos-nothing-at-stake").metrics
+    slashing = run_scenario("pos-slashing").metrics
     costs = attack_cost_comparison()
     return naive, slashing, costs
 
@@ -32,10 +29,10 @@ def test_e14_proof_of_stake(once):
         ["protocol variant", "fork-open fraction", "mean fork duration (rounds)"],
         title="E14: nothing-at-stake fork persistence",
     )
-    table.add_row("naive PoS (no slashing)", naive.fork_open_fraction,
-                  naive.mean_fork_duration_rounds)
-    table.add_row("PoS with slashing", slashing.fork_open_fraction,
-                  slashing.mean_fork_duration_rounds)
+    table.add_row("naive PoS (no slashing)", naive["fork_open_fraction"],
+                  naive["mean_fork_duration_rounds"])
+    table.add_row("PoS with slashing", slashing["fork_open_fraction"],
+                  slashing["mean_fork_duration_rounds"])
     table.print()
 
     cost_table = ResultTable(
@@ -48,9 +45,9 @@ def test_e14_proof_of_stake(once):
 
     # Shape: without slashing, rational multi-voting keeps forks open most of
     # the time; slashing restores fast convergence.
-    assert naive.fork_open_fraction > 0.5
-    assert slashing.fork_open_fraction < 0.2
-    assert naive.mean_fork_duration_rounds > slashing.mean_fork_duration_rounds
+    assert naive["fork_open_fraction"] > 0.5
+    assert slashing["fork_open_fraction"] < 0.2
+    assert naive["mean_fork_duration_rounds"] > slashing["mean_fork_duration_rounds"]
     # Shape: buying up old keys under naive PoS costs orders of magnitude less
     # than matching PoW hardware+energy (Houy's "costs you nothing" argument).
     assert costs["naive_pos"]["total_usd"] < costs["pow"]["total_usd"] / 10.0

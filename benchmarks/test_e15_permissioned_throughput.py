@@ -4,59 +4,51 @@ Paper: permissioned blockchains avoid "costly proof-of-work by using
 different consensus algorithms such as crash fault-tolerant (CFT) or
 byzantine fault tolerant (BFT) protocols", and "consensus or replication can
 be configured between a subset of the nodes of the network".
+
+All four systems run through the scenario framework — the same registry
+entries E7 and the examples use, with one dotted-path override trimming the
+PoW run to this experiment's length.
 """
 
 from repro.analysis.tables import ResultTable
-from repro.blockchain.network import BITCOIN_PROTOCOL, PoWNetwork, PoWNetworkConfig
-from repro.consensus.pbft import PBFTCluster, PBFTConfig
-from repro.consensus.raft import RaftCluster, RaftConfig
-from repro.permissioned.chaincode import asset_transfer_chaincode
-from repro.permissioned.fabric import FabricNetwork, FabricNetworkConfig
+from repro.scenarios import run_scenario
 
 
 def _run_all():
-    pow_result = PoWNetwork(
-        PoWNetworkConfig(protocol=BITCOIN_PROTOCOL, miner_count=10,
-                         tx_arrival_rate=12.0, duration_blocks=60, seed=1)
-    ).run()
-    pbft = PBFTCluster(PBFTConfig(replicas=4, batch_size=100, seed=1)).run_workload(
-        request_rate=3000, duration=5
-    )
-    raft = RaftCluster(RaftConfig(replicas=5, batch_size=200, seed=1)).run_workload(
-        request_rate=4000, duration=5
-    )
-    fabric = FabricNetwork(FabricNetworkConfig(organizations=4, peers_per_org=2, seed=1))
-    fabric.install_chaincode("default", asset_transfer_chaincode())
-    fabric_metrics = fabric.run_workload("default", "asset-transfer",
-                                         request_rate=1500, duration=5, key_space=20_000)
-    return pow_result, pbft, raft, fabric_metrics
+    pow_metrics = run_scenario(
+        "pow-baseline", overrides={"architecture.duration_blocks": 60}
+    ).metrics
+    pbft = run_scenario("pbft-consortium").metrics
+    raft = run_scenario("raft-ordering").metrics
+    fabric = run_scenario("fabric-consortium").metrics
+    return pow_metrics, pbft, raft, fabric
 
 
 def test_e15_permissioned_throughput(once):
-    pow_result, pbft, raft, fabric = once(_run_all)
-    pow_finality = (
-        BITCOIN_PROTOCOL.confirmations_for_finality * BITCOIN_PROTOCOL.target_block_interval
-    )
+    pow_metrics, pbft, raft, fabric = once(_run_all)
+    pow_finality = pow_metrics["finality_nominal_s"]
 
     table = ResultTable(
         ["system", "throughput_tps", "latency_s", "membership"],
         title="E15: permissioned (BFT/CFT) vs permissionless (PoW)",
     )
-    table.add_row("bitcoin-like PoW", pow_result.throughput_tps, pow_finality, "open")
-    table.add_row("PBFT (n=4)", pbft.throughput_tps, pbft.mean_latency, "known consortium")
-    table.add_row("Raft ordering (n=5)", raft.throughput_tps, raft.mean_latency, "known consortium")
-    table.add_row("Fabric execute-order-validate", fabric.throughput_tps,
-                  fabric.latencies.mean(), "known consortium (channel)")
+    table.add_row("bitcoin-like PoW", pow_metrics["throughput_tps"], pow_finality, "open")
+    table.add_row("PBFT (n=4)", pbft["throughput_tps"], pbft["mean_latency_s"],
+                  "known consortium")
+    table.add_row("Raft ordering (n=5)", raft["throughput_tps"], raft["mean_latency_s"],
+                  "known consortium")
+    table.add_row("Fabric execute-order-validate", fabric["throughput_tps"],
+                  fabric["mean_latency_s"], "known consortium (channel)")
     table.print()
 
     # Shape: on the same simulation substrate, the permissioned stack sustains
     # thousands of requests per second at sub-second latency while PoW stays in
     # single-digit tps with minutes-to-hour finality.
-    assert pow_result.throughput_tps < 20.0
+    assert pow_metrics["throughput_tps"] < 20.0
     assert pow_finality >= 3600.0
-    assert pbft.throughput_tps > 1000.0
-    assert pbft.mean_latency < 1.0
-    assert raft.throughput_tps > 1000.0
-    assert fabric.throughput_tps > 500.0
-    assert fabric.latencies.mean() < 1.0
-    assert fabric.throughput_tps / max(pow_result.throughput_tps, 1e-9) > 50.0
+    assert pbft["throughput_tps"] > 1000.0
+    assert pbft["mean_latency_s"] < 1.0
+    assert raft["throughput_tps"] > 1000.0
+    assert fabric["throughput_tps"] > 500.0
+    assert fabric["mean_latency_s"] < 1.0
+    assert fabric["throughput_tps"] / max(pow_metrics["throughput_tps"], 1e-9) > 50.0

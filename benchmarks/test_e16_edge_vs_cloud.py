@@ -3,22 +3,21 @@
 Paper: control and data should sit at the edge ("everything is in the
 edge"), with permissioned blockchains providing decentralized trust and the
 cloud acting as a utility; blockchain islands interoperate across domains.
+
+The placement comparison and the island federation run through the scenario
+framework (``edge-placement`` and ``edge-federation``); the whole-stack
+comparison uses the :mod:`repro.core` harness directly, as it spans every
+family at once.
 """
 
 from repro.analysis.tables import ResultTable
 from repro.core.comparison import compare_architectures
-from repro.edge.islands import BlockchainIsland, IslandFederation
-from repro.edge.placement import compare_placements
+from repro.scenarios import run_scenario
 
 
 def _run_all():
-    placements = compare_placements(requests=1500, seed=5)
-    federation = IslandFederation(seed=6)
-    federation.add_island(BlockchainIsland(name="trade", domain="supply-chain", seed=7))
-    federation.add_island(BlockchainIsland(name="health", domain="healthcare", seed=8))
-    federation.connect("trade", "health")
-    interop = federation.interoperability_overhead("trade", "health",
-                                                   request_rate=150, duration=3)
+    placements = run_scenario("edge-placement").metrics
+    interop = run_scenario("edge-federation").metrics
     architectures = compare_architectures(seed=3, pow_blocks=25, fabric_rate=1000,
                                           fabric_duration=4)
     return placements, interop, architectures
@@ -32,9 +31,10 @@ def test_e16_edge_vs_cloud(once):
         title="E16: Figure 1 as numbers — centralized cloud vs edge-centric federation",
     )
     for name in ("cloud-only", "regional-cloud", "edge-centric"):
-        result = placements.results[name]
-        table.add_row(name, result.p50_latency * 1000, result.p99_latency * 1000,
-                      result.trust_nakamoto, result.control_locality)
+        table.add_row(name, placements[f"{name}.p50_latency_ms"],
+                      placements[f"{name}.p99_latency_ms"],
+                      placements[f"{name}.trust_nakamoto"],
+                      placements[f"{name}.control_locality"])
     table.print()
 
     interop_table = ResultTable(
@@ -55,13 +55,12 @@ def test_e16_edge_vs_cloud(once):
                            row["finality_latency_s"], row["trust_nakamoto"])
     arch_table.print()
 
-    cloud = placements.results["cloud-only"]
-    edge = placements.results["edge-centric"]
     # Shape: edge placement is several-fold faster, keeps data local, and its
     # trust is spread over the federation instead of one provider.
-    assert placements.speedup("cloud-only", "edge-centric") > 3.0
-    assert edge.trust_nakamoto > 1 and cloud.trust_nakamoto == 1
-    assert edge.control_locality > 0.8
+    assert placements["speedup_cloud_to_edge"] > 3.0
+    assert placements["edge-centric.trust_nakamoto"] > 1
+    assert placements["cloud-only.trust_nakamoto"] == 1
+    assert placements["edge-centric.control_locality"] > 0.8
     # Shape: interoperability costs roughly one extra island transaction, not more.
     assert 1.5 < interop["overhead_factor"] < 6.0
     # Shape: the proposed stack keeps multi-party trust while being orders of

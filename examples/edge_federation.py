@@ -2,9 +2,11 @@
 """Edge-centric federation with blockchain islands (Section V, Figure 1).
 
 Places a latency-sensitive service under three strategies (central cloud,
-regional cloud, edge-centric federation), then builds two vertical-domain
-blockchain islands (supply chain and healthcare), connects them through an
-interoperability gateway and reports the cross-island overhead.
+regional cloud, edge-centric federation) and measures the cross-island
+interoperability overhead between two vertical-domain blockchain islands —
+both driven through the ``repro.scenarios`` framework: the stock
+``edge-placement`` scenario re-parametrized onto a larger topology, and the
+``edge-federation`` scenario re-parametrized with this example's islands.
 
 Run with::
 
@@ -12,37 +14,52 @@ Run with::
 """
 
 from repro.analysis.tables import ResultTable
-from repro.edge.islands import BlockchainIsland, IslandFederation
-from repro.edge.placement import compare_placements
-from repro.edge.topology import EdgeTopology, EdgeTopologyConfig
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    topology = EdgeTopology(EdgeTopologyConfig(regions=4, organizations_per_region=3,
-                                               devices_per_organization=40, seed=13))
-    print(f"Topology: {topology.device_count()} devices, {len(topology.edge_sites)} edge sites, "
-          f"{len(topology.regional_sites)} regional DCs, 1 central cloud")
+    topology = {"regions": 4, "organizations_per_region": 3,
+                "devices_per_organization": 40, "seed": 13}
+    devices = topology["regions"] * topology["organizations_per_region"] \
+        * topology["devices_per_organization"]
+    print(f"Topology: {devices} devices, "
+          f"{topology['regions'] * topology['organizations_per_region']} edge sites, "
+          f"{topology['regions']} regional DCs, 1 central cloud")
 
-    comparison = compare_placements(topology=topology, requests=2000, seed=13)
+    placement = run_scenario(
+        "edge-placement",
+        overrides={"topology": topology, "workload.requests": 2000},
+        seed=13,
+    )
+    metrics = placement.metrics
     table = ResultTable(
         ["placement", "p50_ms", "p99_ms", "trust_nakamoto", "data stays local"],
         title="Service placement (Figure 1, measured)",
     )
-    for name, result in comparison.results.items():
-        summary = result.summary()
-        table.add_row(name, summary["p50_latency_ms"], summary["p99_latency_ms"],
-                      summary["trust_nakamoto"], summary["control_locality"])
+    for name in ("cloud-only", "regional-cloud", "edge-centric"):
+        table.add_row(name, metrics[f"{name}.p50_latency_ms"],
+                      metrics[f"{name}.p99_latency_ms"],
+                      metrics[f"{name}.trust_nakamoto"],
+                      metrics[f"{name}.control_locality"])
     table.print()
-    print(f"\nEdge-centric placement is {comparison.speedup():.1f}x faster at the median "
-          "than the centralized cloud, while spreading trust over the federation.")
+    print(f"\nEdge-centric placement is {metrics['speedup_cloud_to_edge']:.1f}x faster at "
+          "the median than the centralized cloud, while spreading trust over the federation.")
 
     print("\nBuilding two blockchain islands and a gateway between them...")
-    federation = IslandFederation(seed=17)
-    federation.add_island(BlockchainIsland(name="supply-chain", domain="supply-chain", seed=18))
-    federation.add_island(BlockchainIsland(name="healthcare", domain="healthcare", seed=19))
-    federation.connect("supply-chain", "healthcare", relay_latency=0.05)
-    interop = federation.interoperability_overhead("supply-chain", "healthcare",
-                                                   request_rate=200, duration=4)
+    federation = run_scenario(
+        "edge-federation",
+        overrides={
+            "architecture.islands": [
+                {"name": "supply-chain", "domain": "supply-chain", "seed_offset": 1},
+                {"name": "healthcare", "domain": "healthcare", "seed_offset": 2},
+            ],
+            "architecture.connections": [["supply-chain", "healthcare"]],
+            "workload.rate_tps": 200.0,
+            "duration": 4.0,
+        },
+        seed=17,
+    )
+    interop = federation.metrics
     interop_table = ResultTable(["quantity", "value"], title="Blockchain-island interoperability")
     interop_table.add_row("intra-island latency (s)", interop["intra_island_latency_s"])
     interop_table.add_row("cross-island latency (s)", interop["cross_island_latency_s"])
@@ -50,9 +67,8 @@ def main() -> None:
     interop_table.add_row("island throughput (tps)", interop["source_throughput_tps"])
     interop_table.print()
 
-    entities = federation.federation_trust_entities()
-    print(f"\nTrust is spread over {len(entities)} organizations across the two islands; "
-          "no single provider controls the federation.")
+    print(f"\nTrust is spread over {interop['trust_entities']:.0f} organizations across the "
+          "two islands; no single provider controls the federation.")
 
 
 if __name__ == "__main__":

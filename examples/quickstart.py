@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: compare the architectures the paper argues about.
 
-Runs the same payment-style workload on a permissionless proof-of-work
-network, a permissioned Fabric-like consortium, a centralized cloud model
-and an edge-centric federation, then prints the comparison table (the
-measured version of the paper's Figure 1) and the decision framework's
-recommendation for a few example applications.
+Drives one registered scenario from each of the five architecture families
+through the ``repro.scenarios`` framework — the same specs the benchmarks
+and the ``repro-run`` CLI use, trimmed with dotted-path overrides so the
+whole script finishes in a few seconds — then prints the cross-family
+comparison (the measured version of the paper's Figure 1) and the decision
+framework's recommendation for a few example applications.
 
 Run with::
 
@@ -13,25 +14,44 @@ Run with::
 """
 
 from repro.analysis.tables import ResultTable
-from repro.core import DecisionInput, compare_architectures, recommend_architecture
+from repro.core import DecisionInput, recommend_architecture
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    print("Running the architecture comparison (this takes a few seconds)...")
-    comparison = compare_architectures(seed=7, pow_blocks=30, fabric_rate=1000, fabric_duration=4)
+    print("Running one scenario per architecture family (a few seconds)...")
+    runs = [
+        ("pow-baseline", {"architecture.duration_blocks": 30}),
+        ("pbft-consortium", {"duration": 3.0}),
+        ("fabric-consortium", {"duration": 3.0}),
+        ("kad-lookup", {"workload.lookups": 60}),
+        ("edge-placement", {"workload.requests": 1000}),
+    ]
+    results = {name: run_scenario(name, overrides=overrides) for name, overrides in runs}
 
     table = ResultTable(
-        ["architecture", "throughput_tps", "finality_s", "energy_per_tx_kwh",
-         "trust_nakamoto", "open_membership"],
+        ["scenario", "family", "throughput_tps", "latency_s", "messages"],
         title="Architecture comparison (the paper's Figure 1, measured)",
     )
-    for row in comparison.rows():
-        table.add_row(row["architecture"], row["throughput_tps"], row["finality_latency_s"],
-                      row["energy_per_tx_kwh"], row["trust_nakamoto"], row["open_membership"])
+    for name, result in results.items():
+        metrics = result.metrics
+        if result.family == "overlay":
+            throughput, latency = "-", metrics["median_latency_s"]
+        elif result.family == "edge":
+            throughput, latency = "-", metrics["edge-centric.p50_latency_ms"] / 1000.0
+        else:
+            throughput = metrics["throughput_tps"]
+            latency = metrics.get("mean_latency_s", metrics.get("latency_mean_s", 0.0))
+        table.add_row(name, result.family, throughput, latency,
+                      metrics.get("messages_sent", "-"))
     table.print()
 
-    gap = comparison.throughput_gap("permissioned-fabric", "bitcoin-pow")
-    print(f"\nPermissioned consortium vs Bitcoin-like PoW throughput gap: {gap:,.0f}x")
+    fabric_tps = results["fabric-consortium"].metric("throughput_tps")
+    pow_tps = results["pow-baseline"].metric("throughput_tps")
+    print(f"\nPermissioned consortium vs Bitcoin-like PoW throughput gap: "
+          f"{fabric_tps / pow_tps:,.0f}x")
+    speedup = results["edge-placement"].metric("speedup_cloud_to_edge")
+    print(f"Edge-centric placement vs central cloud median latency: {speedup:.1f}x faster")
 
     print("\nDecision framework (Section V use cases):")
     applications = {

@@ -20,6 +20,12 @@ and exposes the paper's quantitative claims as runnable experiments:
   mining economics.
 * :mod:`repro.core` — the architecture comparison harness, the decision
   framework and the claim registry (E1-E16).
+* :mod:`repro.scenarios` — the declarative scenario framework: one
+  :class:`~repro.scenarios.ScenarioSpec` per experiment, five architecture
+  adapters, a named registry and the ``python -m repro.run`` /
+  ``repro-run`` CLI.
+* :mod:`repro.workloads` — seeded workload generators (payments, lookups,
+  object requests, vertical domains) shared by every architecture.
 
 Quickstart::
 
@@ -27,6 +33,9 @@ Quickstart::
     comparison = compare_architectures()
     for row in comparison.rows():
         print(row)
+
+    from repro.scenarios import run_scenario
+    print(run_scenario("pow-baseline").metric("throughput_tps"))
 """
 
 from repro.core import (

@@ -50,7 +50,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Interpolate as low + delta*w (not low*(1-w) + high*w) and clamp: the
+    # two-product form can round outside [low, high] for denormal values.
+    interpolated = ordered[low] + (ordered[high] - ordered[low]) * weight
+    return min(max(interpolated, ordered[low]), ordered[high])
 
 
 def describe(values: Sequence[float]) -> Dict[str, float]:

@@ -69,6 +69,23 @@ class ResultTable:
             )
         return "\n".join(lines)
 
+    def render_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown.
+
+        Used by :mod:`repro.analysis.experiments` to regenerate
+        ``EXPERIMENTS.md``; the title (if any) becomes a bold caption line.
+        """
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            cells = [cell.replace("|", "\\|") for cell in row]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
     def print(self) -> None:
         """Print the rendered table (benchmarks call this with ``-s``)."""
         print()

@@ -155,3 +155,24 @@ def record_sharing_chaincode(execution_time: float = 0.004) -> Chaincode:
         execution_time=execution_time,
         description="consent management with an audit trail (healthcare use case)",
     )
+
+
+#: Named chaincode factories, the declarative hook used by :mod:`repro.scenarios`.
+CHAINCODE_FACTORIES = {
+    "asset-transfer": asset_transfer_chaincode,
+    "provenance": provenance_chaincode,
+    "record-sharing": record_sharing_chaincode,
+}
+
+
+def chaincode_by_name(name: str, execution_time: Optional[float] = None) -> Chaincode:
+    """Instantiate one of the stock chaincodes by its installed name."""
+    try:
+        factory = CHAINCODE_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaincode {name!r}; pick one of {sorted(CHAINCODE_FACTORIES)}"
+        ) from None
+    if execution_time is None:
+        return factory()
+    return factory(execution_time=execution_time)

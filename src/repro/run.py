@@ -1,0 +1,133 @@
+"""Command-line runner for the scenario framework.
+
+::
+
+    python -m repro.run --list
+    python -m repro.run pow-baseline
+    python -m repro.run pow-baseline --json -
+    python -m repro.run kad-lookup --set topology.size=800 --seed 9 --replicates 3
+    python -m repro.run pbft-consortium --sweep "architecture.replicas=4,7,13"
+    python -m repro.run churn-ladder --json results.json
+
+Installed as the ``repro-run`` console script.  ``--set``/``--sweep``
+values are parsed as JSON where possible (``none`` → null), so
+``--set churn=none`` and ``--set 'churn={"mean_session": 600}'`` both work.
+Output at a fixed seed is deterministic: two runs of the same command
+produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import ResultTable
+from repro.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    results_to_json,
+    run_sweep,
+    scenario_names,
+)
+
+
+def _parse_value(text: str):
+    """Best-effort literal parsing of a command-line override value."""
+    lowered = text.strip().lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return json.loads(text)
+    except (ValueError, TypeError):
+        return text
+
+
+def _parse_assignment(argument: str, flag: str) -> (str, str):
+    path, separator, value = argument.partition("=")
+    if not separator or not path:
+        raise SystemExit(f"{flag} expects PATH=VALUE, got {argument!r}")
+    return path.strip(), value
+
+
+def _list_scenarios() -> None:
+    table = ResultTable(["scenario", "family", "claim", "runs", "description"],
+                        title="Registered scenarios (python -m repro.run <name>)")
+    for name in scenario_names():
+        spec = SCENARIOS[name]
+        points = len(spec.expand()) if spec.is_swept else 1
+        table.add_row(name, spec.family, spec.claim or "-",
+                      points if points > 1 else 1, spec.description)
+    print(table.render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Run a named scenario through the architecture adapters.",
+    )
+    parser.add_argument("scenario", nargs="?", help="registered scenario name")
+    parser.add_argument("--list", action="store_true", help="list registered scenarios")
+    parser.add_argument("--seed", type=int, default=None, help="override the base seed")
+    parser.add_argument("--replicates", type=int, default=None,
+                        help="seeds per point (seed, seed+1, ...)")
+    parser.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="PATH=VALUE",
+                        help="override a spec field by dotted path (repeatable)")
+    parser.add_argument("--sweep", dest="sweeps", action="append", default=[],
+                        metavar="PATH=V1,V2,...",
+                        help="add a sweep axis over comma-separated values (repeatable)")
+    parser.add_argument("--json", dest="json_out", metavar="PATH",
+                        help="write the result JSON to PATH ('-' for stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the metric tables")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.scenario:
+        _list_scenarios()
+        return 0 if args.list else 2
+
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    overrides: Dict[str, object] = {}
+    for assignment in args.overrides:
+        path, value = _parse_assignment(assignment, "--set")
+        overrides[path] = _parse_value(value)
+    for assignment in args.sweeps:
+        path, values = _parse_assignment(assignment, "--sweep")
+        spec.sweeps[path] = [_parse_value(value) for value in values.split(",")]
+
+    results = run_sweep(spec, overrides=overrides, seed=args.seed,
+                        replicates=args.replicates)
+
+    if not args.quiet:
+        for result in results:
+            print()
+            print(result.table().render())
+
+    if args.json_out:
+        if len(results) == 1:
+            payload = results[0].to_json()
+        else:
+            payload = results_to_json(results)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            if not args.quiet:
+                print(f"\nwrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

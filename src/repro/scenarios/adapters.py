@@ -1,0 +1,442 @@
+"""Architecture adapters: one declarative spec, five simulation substrates.
+
+An :class:`ArchitectureAdapter` normalizes the life cycle of every family
+into ``setup`` (build the simulated system from a :class:`ScenarioSpec` and
+a seed), ``run`` (drive the configured workload) and ``collect`` (reduce
+the family-specific outcome to a flat ``Dict[str, float]`` of metrics).
+The :mod:`repro.scenarios.runner` calls :meth:`run_replicate` once per seed
+and aggregates the replicates into a
+:class:`~repro.scenarios.result.ScenarioResult`.
+
+Adapters construct exactly the same configuration objects the hand-written
+experiments used, so a scenario parametrized like a pre-framework benchmark
+reproduces its numbers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.scenarios.spec import ScenarioSpec
+
+
+def _float_metrics(raw: Dict[str, object], prefix: str = "") -> Dict[str, float]:
+    """Keep the numeric entries of a summary dict, as floats."""
+    return {
+        prefix + key: float(value)
+        for key, value in raw.items()
+        if isinstance(value, (int, float))
+    }
+
+
+def _expect_workload_kind(spec: ScenarioSpec, allowed: tuple, default: str) -> str:
+    """Validate ``workload['kind']`` so a nonsensical override fails loudly."""
+    kind = str(spec.workload.get("kind", default))
+    if kind not in allowed:
+        raise ValueError(
+            f"scenario {spec.name!r} ({spec.family}) cannot run a {kind!r} "
+            f"workload; supported kinds: {sorted(allowed)}"
+        )
+    return kind
+
+
+class ArchitectureAdapter:
+    """Template for running one architecture family from a spec.
+
+    Subclasses implement :meth:`setup` (spec + seed → live system),
+    :meth:`run` (drive the workload, return the family-specific outcome)
+    and :meth:`collect` (outcome → flat float metrics).
+    """
+
+    family: str = ""
+
+    def setup(self, spec: ScenarioSpec, seed: int):
+        raise NotImplementedError
+
+    def run(self, context):
+        raise NotImplementedError
+
+    def collect(self, context, outcome) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def run_replicate(self, spec: ScenarioSpec, seed: int) -> Dict[str, float]:
+        """One seeded run: setup → run → collect."""
+        context = self.setup(spec, seed)
+        outcome = self.run(context)
+        return self.collect(context, outcome)
+
+
+# ----------------------------------------------------------------------
+# Permissionless blockchains (proof-of-work networks, proof-of-stake model)
+# ----------------------------------------------------------------------
+class PermissionlessAdapter(ArchitectureAdapter):
+    """PoW networks and the chain-based PoS fork-persistence model.
+
+    ``architecture`` keys: ``consensus`` (``"pow"``, default, or ``"pos"``).
+    For PoW: ``protocol`` (preset name or dict), ``miner_count``,
+    ``duration_blocks``, plus any other
+    :class:`~repro.blockchain.network.PoWNetworkConfig` field; the offered
+    transaction load comes from ``workload["rate_tps"]``.  For PoS:
+    :class:`~repro.blockchain.proof_of_stake.ProofOfStakeParams` fields
+    (``slashing``, ``multi_vote_fraction``, ``rounds``, ...).
+    """
+
+    family = "permissionless"
+
+    def setup(self, spec: ScenarioSpec, seed: int):
+        arch = dict(spec.architecture)
+        consensus = str(arch.pop("consensus", "pow"))
+        if consensus == "pos":
+            from repro.blockchain.proof_of_stake import (
+                NothingAtStakeModel,
+                ProofOfStakeParams,
+            )
+
+            params = ProofOfStakeParams(
+                validators=int(arch.get("validators", 100)),
+                stake_pareto_shape=float(arch.get("stake_pareto_shape", 1.16)),
+                multi_vote_fraction=float(arch.get("multi_vote_fraction", 1.0)),
+                slashing_enabled=bool(arch.get("slashing", False)),
+                rounds=int(arch.get("rounds", 2000)),
+                fork_probability=float(arch.get("fork_probability", 0.05)),
+                seed=seed,
+            )
+            return {"consensus": "pos", "model": NothingAtStakeModel(params)}
+
+        from repro.blockchain.network import (
+            PoWNetwork,
+            PoWNetworkConfig,
+            protocol_by_name,
+        )
+
+        _expect_workload_kind(spec, ("payment",), default="payment")
+        protocol = protocol_by_name(arch.pop("protocol", "bitcoin"))
+        # The replicate seed and the workload rate own their keys; an
+        # architecture.tx_arrival_rate override still wins over the workload
+        # so "plus any other PoWNetworkConfig field" holds without a
+        # duplicate-keyword TypeError.
+        arch.pop("seed", None)
+        rate = float(arch.pop("tx_arrival_rate", spec.workload.get("rate_tps", 10.0)))
+        config = PoWNetworkConfig(
+            protocol=protocol,
+            tx_arrival_rate=rate,
+            seed=seed,
+            **arch,
+        )
+        return {"consensus": "pow", "network": PoWNetwork(config), "protocol": protocol}
+
+    def run(self, context):
+        if context["consensus"] == "pos":
+            return context["model"].run()
+        return context["network"].run()
+
+    def collect(self, context, outcome) -> Dict[str, float]:
+        if context["consensus"] == "pos":
+            return {
+                "forks_started": float(outcome.forks_started),
+                "fork_open_fraction": outcome.fork_open_fraction,
+                "mean_fork_duration_rounds": outcome.mean_fork_duration_rounds,
+                "max_fork_duration_rounds": float(outcome.max_fork_duration_rounds),
+                "rounds": float(outcome.total_rounds),
+            }
+        from repro.blockchain.energy import EnergyModel
+
+        protocol = context["protocol"]
+        network = context["network"]
+        energy = EnergyModel().energy_per_transaction_kwh()
+        if protocol.name == "ethereum":
+            # PoW-era Ethereum burned roughly a third of Bitcoin's power at a
+            # few times its transaction rate (same scaling as repro.core).
+            energy /= 10.0
+        return {
+            "throughput_tps": outcome.throughput_tps,
+            "offered_load_tps": outcome.offered_load_tps,
+            "capacity_tps": outcome.capacity_tps,
+            "latency_mean_s": outcome.mean_confirmation_latency,
+            "latency_p90_s": outcome.p90_confirmation_latency,
+            "finality_mean_s": outcome.mean_finality_latency,
+            "finality_nominal_s": (
+                protocol.confirmations_for_finality * protocol.target_block_interval
+            ),
+            "mean_block_interval_s": outcome.mean_block_interval,
+            "stale_rate": outcome.stale_rate,
+            "max_reorg_depth": float(outcome.chain.max_reorg_depth),
+            "main_chain_blocks": float(outcome.chain.main_chain_length),
+            "mean_propagation_delay_s": outcome.mean_propagation_delay,
+            "backlog_transactions": outcome.backlog_transactions,
+            "messages_sent": float(network.network.messages_sent),
+            "bytes_sent": float(network.network.bytes_sent),
+            "energy_per_tx_kwh": energy,
+        }
+
+
+# ----------------------------------------------------------------------
+# BFT/CFT consensus clusters
+# ----------------------------------------------------------------------
+class ConsensusAdapter(ArchitectureAdapter):
+    """PBFT and Raft clusters driven by a Poisson request stream.
+
+    ``architecture`` keys: ``protocol`` (``"pbft"`` or ``"raft"``),
+    ``replicas``, ``batch_size``.  The request rate comes from
+    ``workload["rate_tps"]`` and the measured interval from ``duration``.
+    """
+
+    family = "consensus"
+
+    def setup(self, spec: ScenarioSpec, seed: int):
+        from repro.consensus.cluster import ConsensusBenchmark, ConsensusBenchmarkConfig
+
+        _expect_workload_kind(spec, ("payment",), default="payment")
+        config = ConsensusBenchmarkConfig(
+            protocol=str(spec.architecture.get("protocol", "pbft")),
+            replicas=int(spec.architecture.get("replicas", 4)),
+            batch_size=int(spec.architecture.get("batch_size", 100)),
+            request_rate=float(spec.workload.get("rate_tps", 2000.0)),
+            duration=float(spec.duration or 5.0),
+            seed=seed,
+        )
+        return ConsensusBenchmark(config)
+
+    def run(self, context):
+        return context.run()
+
+    def collect(self, context, outcome) -> Dict[str, float]:
+        metrics = _float_metrics(outcome.summary())
+        metrics["messages_sent"] = float(outcome.messages_sent)
+        metrics["bytes_sent"] = float(outcome.bytes_sent)
+        return metrics
+
+
+# ----------------------------------------------------------------------
+# Permissioned ledgers (Fabric-like execute-order-validate)
+# ----------------------------------------------------------------------
+class PermissionedAdapter(ArchitectureAdapter):
+    """A Fabric-like consortium running a chaincode workload on one channel.
+
+    ``architecture`` keys: ``organizations``, ``peers_per_org``,
+    ``chaincode`` (installed name, see
+    :func:`repro.permissioned.chaincode.chaincode_by_name`) and
+    ``key_space``.  ``workload`` is either ``{"kind": "payment",
+    "rate_tps": ...}`` (stock transfer arguments over ``key_space``
+    accounts) or ``{"kind": "vertical", "domain": ..., "rate_tps": ...}``
+    driving the matching :class:`~repro.workloads.VerticalWorkload`.
+    """
+
+    family = "permissioned"
+
+    def setup(self, spec: ScenarioSpec, seed: int):
+        from repro.permissioned.chaincode import chaincode_by_name
+        from repro.permissioned.fabric import FabricNetwork, FabricNetworkConfig
+
+        arch = spec.architecture
+        network = FabricNetwork(
+            FabricNetworkConfig(
+                organizations=int(arch.get("organizations", 4)),
+                peers_per_org=int(arch.get("peers_per_org", 2)),
+                seed=seed,
+            )
+        )
+        chaincode = str(arch.get("chaincode", "asset-transfer"))
+        network.install_chaincode("default", chaincode_by_name(chaincode))
+
+        args_factory = None
+        workload = spec.workload
+        kind = _expect_workload_kind(spec, ("payment", "vertical"), default="payment")
+        if kind == "vertical":
+            from repro.workloads import workload_from_spec
+
+            vertical = workload_from_spec(workload, seed=seed)
+
+            def args_factory(rng) -> Dict:
+                return dict(vertical.invocation()["args"])
+
+        return {
+            "network": network,
+            "chaincode": chaincode,
+            "args_factory": args_factory,
+            "rate": float(workload.get("rate_tps", 1000.0)),
+            "duration": float(spec.duration or 5.0),
+            "key_space": int(arch.get("key_space", 1000)),
+        }
+
+    def run(self, context):
+        return context["network"].run_workload(
+            "default",
+            context["chaincode"],
+            request_rate=context["rate"],
+            duration=context["duration"],
+            args_factory=context["args_factory"],
+            key_space=context["key_space"],
+        )
+
+    def collect(self, context, outcome) -> Dict[str, float]:
+        metrics = _float_metrics(outcome.summary())
+        metrics["submitted"] = float(outcome.submitted)
+        metrics["committed_invalid"] = float(outcome.committed_invalid)
+        # A consortium of a few commodity servers per organization.
+        metrics["energy_per_tx_kwh"] = 2e-6
+        return metrics
+
+
+# ----------------------------------------------------------------------
+# Open P2P overlays (Kademlia-style DHT lookups under churn)
+# ----------------------------------------------------------------------
+class OverlayAdapter(ArchitectureAdapter):
+    """DHT lookup experiments over the Kademlia simulator.
+
+    ``architecture`` keys: ``overlay`` (client preset ``"kad"`` /
+    ``"mainline"`` or a dict of
+    :class:`~repro.p2p.kademlia.KademliaConfig` fields) and optional
+    ``client_overrides`` applied on top of the preset.  ``topology["size"]``
+    is the network size, ``workload`` carries ``lookups`` and
+    ``interval_s``, and ``churn`` follows
+    :meth:`repro.sim.churn.ChurnModel.from_spec`.
+    """
+
+    family = "overlay"
+
+    def setup(self, spec: ScenarioSpec, seed: int):
+        from repro.p2p.kademlia import KademliaConfig
+        from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
+        from repro.sim.churn import ChurnModel
+
+        _expect_workload_kind(spec, ("lookup",), default="lookup")
+        client = KademliaConfig.by_name(spec.architecture.get("overlay", "kad"))
+        overrides = spec.architecture.get("client_overrides") or {}
+        if overrides:
+            client = replace(client, **overrides)
+        config = LookupExperimentConfig(
+            network_size=int(spec.topology.get("size", 600)),
+            lookups=int(spec.workload.get("lookups", 300)),
+            lookup_interval=float(spec.workload.get("interval_s", 2.0)),
+            kademlia=client,
+            churn=ChurnModel.from_spec(spec.churn),
+            seed=seed,
+        )
+        return LookupExperiment(config)
+
+    def run(self, context):
+        return context.run()
+
+    def collect(self, context, outcome) -> Dict[str, float]:
+        return _float_metrics(outcome.summary())
+
+
+# ----------------------------------------------------------------------
+# Edge-centric computing (placement strategies, blockchain islands)
+# ----------------------------------------------------------------------
+class EdgeAdapter(ArchitectureAdapter):
+    """Edge placement comparisons and blockchain-island federations.
+
+    ``architecture["mode"]`` selects the experiment:
+
+    * ``"placement"`` (default) — run ``workload["requests"]`` device
+      requests under the cloud-only / regional-cloud / edge-centric
+      strategies over an :class:`~repro.edge.topology.EdgeTopology` built
+      from ``topology`` (empty dict → stock topology).  Metrics are
+      emitted per strategy as ``<strategy>.<metric>`` plus the
+      cloud-to-edge ``speedup``.
+    * ``"federation"`` — build ``architecture["islands"]`` (dicts with
+      ``name``, ``domain``, optional sizing and a ``seed_offset`` added to
+      the run seed, so ``--seed``/replicates re-seed every island), connect
+      ``architecture["connections"]`` pairs and measure the
+      interoperability overhead of the first connection at
+      ``workload["rate_tps"]`` for ``duration`` seconds.
+    """
+
+    family = "edge"
+
+    def setup(self, spec: ScenarioSpec, seed: int):
+        mode = str(spec.architecture.get("mode", "placement"))
+        if mode == "placement":
+            _expect_workload_kind(spec, ("object",), default="object")
+            topology = None
+            if spec.topology:
+                from repro.edge.topology import EdgeTopology, EdgeTopologyConfig
+
+                topology = EdgeTopology(EdgeTopologyConfig(**spec.topology))
+            return {
+                "mode": mode,
+                "topology": topology,
+                "requests": int(spec.workload.get("requests", 2000)),
+                "seed": seed,
+            }
+        if mode != "federation":
+            raise ValueError(f"unknown edge mode {mode!r}; pick 'placement' or 'federation'")
+
+        from repro.edge.islands import BlockchainIsland, IslandFederation
+
+        _expect_workload_kind(spec, ("vertical",), default="vertical")
+        # Island seeds are offsets from the run seed, so both a ``--seed``
+        # override and replicate fan-out re-seed every island while staying
+        # fully deterministic.
+        federation = IslandFederation(seed=seed)
+        islands = spec.architecture.get("islands") or []
+        for index, island in enumerate(islands):
+            params = dict(island)
+            params["seed"] = seed + int(params.pop("seed_offset", index + 1))
+            federation.add_island(BlockchainIsland(**params))
+        relay = float(spec.architecture.get("relay_latency", 0.05))
+        connections = [tuple(pair) for pair in spec.architecture.get("connections") or []]
+        for source, destination in connections:
+            federation.connect(source, destination, relay_latency=relay)
+        return {
+            "mode": mode,
+            "federation": federation,
+            "connections": connections,
+            "rate": float(spec.workload.get("rate_tps", 200.0)),
+            "duration": float(spec.duration or 4.0),
+        }
+
+    def run(self, context):
+        if context["mode"] == "placement":
+            from repro.edge.placement import compare_placements
+
+            return compare_placements(
+                topology=context["topology"],
+                requests=context["requests"],
+                seed=context["seed"],
+            )
+        federation = context["federation"]
+        if not context["connections"]:
+            raise ValueError("a federation scenario needs at least one connection")
+        source, destination = context["connections"][0]
+        return federation.interoperability_overhead(
+            source, destination, request_rate=context["rate"], duration=context["duration"]
+        )
+
+    def collect(self, context, outcome) -> Dict[str, float]:
+        if context["mode"] == "placement":
+            metrics: Dict[str, float] = {}
+            for name, result in outcome.results.items():
+                metrics.update(_float_metrics(result.summary(), prefix=f"{name}."))
+            metrics["speedup_cloud_to_edge"] = outcome.speedup("cloud-only", "edge-centric")
+            return metrics
+        metrics = {key: float(value) for key, value in outcome.items()}
+        federation = context["federation"]
+        metrics["trust_entities"] = float(len(federation.federation_trust_entities()))
+        return metrics
+
+
+#: One adapter instance per family (adapters are stateless between runs).
+ADAPTERS: Dict[str, ArchitectureAdapter] = {
+    adapter.family: adapter
+    for adapter in (
+        PermissionlessAdapter(),
+        ConsensusAdapter(),
+        PermissionedAdapter(),
+        OverlayAdapter(),
+        EdgeAdapter(),
+    )
+}
+
+
+def adapter_for(family: str) -> ArchitectureAdapter:
+    """The adapter that runs scenarios of the given family."""
+    try:
+        return ADAPTERS[family]
+    except KeyError:
+        raise ValueError(
+            f"no adapter for family {family!r}; known: {sorted(ADAPTERS)}"
+        ) from None

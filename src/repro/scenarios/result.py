@@ -1,0 +1,119 @@
+"""Normalized scenario outcomes.
+
+Every architecture adapter reduces its family-specific run into a flat
+``Dict[str, float]`` of metrics (throughput, latency percentiles,
+message/energy counters); :class:`ScenarioResult` holds one such dict per
+seed replicate plus the mean aggregate, and serialises deterministically —
+two runs of the same spec at the same seed produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import ResultTable
+
+
+@dataclass
+class ReplicateResult:
+    """Metrics of one seeded run of a scenario."""
+
+    seed: int
+    metrics: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-serialisable representation."""
+        return {"seed": self.seed, "metrics": dict(sorted(self.metrics.items()))}
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated outcome of one scenario (all replicates)."""
+
+    scenario: str
+    family: str
+    spec: Dict[str, object]
+    replicates: List[ReplicateResult]
+    label: str = ""
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Mean of every metric across replicates."""
+        if not self.replicates:
+            return {}
+        totals: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for replicate in self.replicates:
+            for key, value in replicate.metrics.items():
+                totals[key] = totals.get(key, 0.0) + value
+                counts[key] = counts.get(key, 0) + 1
+        return {key: totals[key] / counts[key] for key in totals}
+
+    def metric(self, key: str) -> float:
+        """One aggregated metric; raises ``KeyError`` for unknown names."""
+        metrics = self.metrics
+        if key not in metrics:
+            raise KeyError(
+                f"scenario {self.scenario!r} has no metric {key!r}; "
+                f"available: {sorted(metrics)}"
+            )
+        return metrics[key]
+
+    def spread(self, key: str) -> Dict[str, float]:
+        """Min/mean/max of one metric across replicates."""
+        values = [r.metrics[key] for r in self.replicates if key in r.metrics]
+        if not values:
+            raise KeyError(key)
+        return {
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def table(self) -> ResultTable:
+        """The aggregated metrics as a :class:`ResultTable`."""
+        title = f"{self.scenario} [{self.family}]"
+        if self.label:
+            title += f" ({self.label})"
+        seeds = [r.seed for r in self.replicates]
+        title += f" — seeds {seeds}" if len(seeds) > 1 else f" — seed {seeds[0]}" if seeds else ""
+        if len(self.replicates) > 1:
+            table = ResultTable(["metric", "mean", "min", "max"], title=title)
+            for key in sorted(self.metrics):
+                stats = self.spread(key)
+                table.add_row(key, stats["mean"], stats["min"], stats["max"])
+        else:
+            table = ResultTable(["metric", "value"], title=title)
+            for key, value in sorted(self.metrics.items()):
+                table.add_row(key, value)
+        return table
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-serialisable representation (deterministic ordering)."""
+        return {
+            "scenario": self.scenario,
+            "family": self.family,
+            "label": self.label,
+            "spec": self.spec,
+            "metrics": dict(sorted(self.metrics.items())),
+            "replicates": [replicate.to_dict() for replicate in self.replicates],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Deterministic JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def results_to_json(results: List[ScenarioResult], indent: Optional[int] = 2) -> str:
+    """One JSON document for a list of results (sweep output)."""
+    return json.dumps(
+        [result.to_dict() for result in results], indent=indent, sort_keys=True
+    )

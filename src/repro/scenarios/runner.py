@@ -1,0 +1,84 @@
+"""Run scenarios: resolve, override, replicate, sweep, aggregate.
+
+``run_scenario`` executes one concrete spec (the base configuration of a
+swept spec); ``run_sweep`` expands a spec's variants/sweeps and runs every
+point.  Both accept either a registry name or a :class:`ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.scenarios.adapters import adapter_for
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.result import ReplicateResult, ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+
+def resolve_spec(
+    scenario: Union[str, ScenarioSpec],
+    overrides: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    replicates: Optional[int] = None,
+) -> ScenarioSpec:
+    """Look up (or copy) a spec and apply overrides/seed/replicates."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario.copy()
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    if seed is not None:
+        spec.seed = seed
+    if replicates is not None:
+        spec.replicates = replicates
+    return spec
+
+
+def _run_concrete(spec: ScenarioSpec, label: str = "") -> ScenarioResult:
+    """Run one fully-expanded spec: one adapter, ``replicates`` seeds."""
+    adapter = adapter_for(spec.family)
+    replicates = [
+        ReplicateResult(seed=spec.seed + index,
+                        metrics=adapter.run_replicate(spec, spec.seed + index))
+        for index in range(spec.replicates)
+    ]
+    return ScenarioResult(
+        scenario=spec.name,
+        family=spec.family,
+        label=label,
+        spec=spec.to_dict(),
+        replicates=replicates,
+    )
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    overrides: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    replicates: Optional[int] = None,
+) -> ScenarioResult:
+    """Run the base configuration of a scenario and aggregate its replicates."""
+    spec = resolve_spec(scenario, overrides, seed, replicates)
+    base = spec.copy()
+    base.sweeps = {}
+    base.variants = {}
+    return _run_concrete(base)
+
+
+def run_sweep(
+    scenario: Union[str, ScenarioSpec],
+    overrides: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    replicates: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Expand a spec's variants/sweeps and run every point, in order."""
+    spec = resolve_spec(scenario, overrides, seed, replicates)
+    return [_run_concrete(point, label) for label, point in spec.expand()]
+
+
+def sweep_metrics(results: List[ScenarioResult]) -> List[Dict[str, float]]:
+    """The aggregated metric dict of each sweep point, labelled."""
+    rows: List[Dict[str, float]] = []
+    for result in results:
+        row: Dict[str, object] = {"label": result.label}
+        row.update(result.metrics)
+        rows.append(row)
+    return rows

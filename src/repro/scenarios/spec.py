@@ -1,0 +1,191 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` describes one experiment — which architecture family
+runs it, how the topology is built, how membership churns, what workload is
+offered, for how long and under which seeds — as plain JSON-serialisable
+data.  The :mod:`repro.scenarios.adapters` turn a spec into an actual
+simulation run; nothing in a spec ever holds a live object, so specs can be
+registered, copied, overridden from the command line and swept.
+
+Two expansion mechanisms produce families of runs from one spec:
+
+* ``sweeps`` maps a dotted override path to a list of values and expands as
+  a cartesian product (``{"architecture.replicas": [4, 7, 13]}``);
+* ``variants`` maps a variant label to a dict of several simultaneous
+  overrides, for rungs that differ in more than one coordinate (a "stable
+  membership" rung needs both ``churn: none`` and a fresh routing table).
+
+``variants`` expand in declaration order as the outer loop, ``sweeps`` as
+the inner cartesian product.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: The five architecture families the paper compares.
+FAMILIES = ("permissionless", "consensus", "permissioned", "overlay", "edge")
+
+
+@dataclass
+class ScenarioSpec:
+    """One declarative experiment description.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``pow-baseline``, ``kad-lookup``, ...).
+    family:
+        One of :data:`FAMILIES`; selects the architecture adapter.
+    architecture:
+        Family-specific architecture knobs (protocol preset, replica count,
+        organizations, overlay client, placement mode, ...).
+    topology:
+        How the network/topology is built (overlay size, edge regions, ...).
+    churn:
+        Membership dynamics: ``None``/``"none"``, a preset name understood
+        by :meth:`repro.sim.churn.ChurnModel.from_spec`, or a dict of
+        :class:`~repro.sim.churn.ChurnModel` arguments.
+    workload:
+        Offered load, understood by the family adapter; ``kind`` selects a
+        :mod:`repro.workloads` generator where per-request objects are
+        simulated (``rate_tps``, ``lookups``, ``requests``, ...).
+    duration:
+        Virtual-time length of the measured run in seconds, where the
+        family measures in time (PoW networks measure in
+        ``architecture["duration_blocks"]`` instead).
+    seed:
+        Base seed; replicate ``i`` runs at ``seed + i``.
+    replicates:
+        Number of per-seed replicates aggregated into one result.
+    sweeps / variants:
+        Expansion axes, see the module docstring.
+    claim:
+        Claim id (``E1``-``E16``) from :mod:`repro.core.claims` this
+        scenario regenerates, if any.
+    """
+
+    name: str
+    family: str
+    description: str = ""
+    claim: str = ""
+    architecture: Dict[str, object] = field(default_factory=dict)
+    topology: Dict[str, object] = field(default_factory=dict)
+    churn: object = None
+    workload: Dict[str, object] = field(default_factory=dict)
+    duration: float = 0.0
+    seed: int = 0
+    replicates: int = 1
+    sweeps: Dict[str, List[object]] = field(default_factory=dict)
+    variants: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown family {self.family!r}; pick one of {FAMILIES}"
+            )
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Copies and overrides
+    # ------------------------------------------------------------------
+    def copy(self) -> "ScenarioSpec":
+        """An independent deep copy."""
+        return _copy.deepcopy(self)
+
+    def with_overrides(self, overrides: Mapping[str, object]) -> "ScenarioSpec":
+        """A copy with dotted-path overrides applied.
+
+        The first path segment names a spec field (``architecture.replicas``,
+        ``workload.rate_tps``, ``seed``); deeper segments index into nested
+        dicts, created on demand.
+        """
+        spec = self.copy()
+        field_names = {f.name for f in fields(spec)}
+        for path, value in overrides.items():
+            head, _, rest = path.partition(".")
+            if head not in field_names:
+                raise KeyError(f"unknown spec field {head!r} in override {path!r}")
+            if not rest:
+                setattr(spec, head, _copy.deepcopy(value))
+                continue
+            container = getattr(spec, head)
+            if not isinstance(container, dict):
+                raise KeyError(
+                    f"cannot apply nested override {path!r}: field {head!r} "
+                    f"is {type(container).__name__}, not a dict"
+                )
+            keys = rest.split(".")
+            for key in keys[:-1]:
+                container = container.setdefault(key, {})
+                if not isinstance(container, dict):
+                    raise KeyError(f"override path {path!r} crosses a non-dict value")
+            container[keys[-1]] = _copy.deepcopy(value)
+        return spec
+
+    # ------------------------------------------------------------------
+    # Sweep expansion
+    # ------------------------------------------------------------------
+    @property
+    def is_swept(self) -> bool:
+        """Whether the spec describes a family of runs rather than one."""
+        return bool(self.sweeps) or bool(self.variants)
+
+    def expand(self) -> List[Tuple[str, "ScenarioSpec"]]:
+        """All (label, concrete spec) pairs this spec describes.
+
+        Expanded specs have ``sweeps``/``variants`` cleared; a spec with
+        neither expands to itself with an empty label.
+        """
+        variant_items: List[Tuple[str, Dict[str, object]]] = (
+            list(self.variants.items()) if self.variants else [("", {})]
+        )
+        sweep_axes = list(self.sweeps.items())
+        expanded: List[Tuple[str, ScenarioSpec]] = []
+        for variant_label, variant_overrides in variant_items:
+            value_lists = [values for _, values in sweep_axes]
+            for combo in itertools.product(*value_lists) if sweep_axes else [()]:
+                overrides = dict(variant_overrides)
+                parts = [variant_label] if variant_label else []
+                for (axis, _), value in zip(sweep_axes, combo):
+                    overrides[axis] = value
+                    parts.append(f"{axis.rsplit('.', 1)[-1]}={value}")
+                spec = self.with_overrides(overrides)
+                spec.sweeps = {}
+                spec.variants = {}
+                expanded.append((", ".join(parts), spec))
+        return expanded
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "description": self.description,
+            "claim": self.claim,
+            "architecture": _copy.deepcopy(self.architecture),
+            "topology": _copy.deepcopy(self.topology),
+            "churn": _copy.deepcopy(self.churn),
+            "workload": _copy.deepcopy(self.workload),
+            "duration": self.duration,
+            "seed": self.seed,
+            "replicates": self.replicates,
+            "sweeps": _copy.deepcopy(self.sweeps),
+            "variants": _copy.deepcopy(self.variants),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec keys: {sorted(unknown)}")
+        return cls(**_copy.deepcopy(dict(data)))

@@ -9,6 +9,7 @@ draws convert explicitly.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import List, Optional, Sequence, TypeVar
@@ -151,9 +152,13 @@ class SeededRNG:
         """Derive an independent, reproducible child generator.
 
         Child streams are keyed on ``(parent seed, label)`` so that adding a
-        new consumer of randomness does not perturb existing ones.
+        new consumer of randomness does not perturb existing ones.  The
+        derivation must not use the builtin ``hash`` — string hashing is
+        randomized per process (PYTHONHASHSEED), which would make fixed-seed
+        runs differ between invocations.
         """
-        child_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(f"{self.seed!r}:{label}".encode("utf-8")).digest()
+        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
         return SeededRNG(child_seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

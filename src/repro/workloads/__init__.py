@@ -1,17 +1,21 @@
-"""Workload generators shared by the experiments and examples."""
+"""Workload generators shared by the experiments, scenarios and examples."""
 
 from repro.workloads.generators import (
     LookupWorkload,
     PaymentWorkload,
     VerticalWorkload,
+    WORKLOAD_KINDS,
     WorkloadEvent,
     ZipfObjectWorkload,
+    workload_from_spec,
 )
 
 __all__ = [
     "LookupWorkload",
     "PaymentWorkload",
     "VerticalWorkload",
+    "WORKLOAD_KINDS",
     "WorkloadEvent",
     "ZipfObjectWorkload",
+    "workload_from_spec",
 ]

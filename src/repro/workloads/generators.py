@@ -210,3 +210,37 @@ class VerticalWorkload:
             if now > start + duration:
                 return
             yield WorkloadEvent(timestamp=now, kind=self.domain, payload=self.invocation())
+
+
+#: Generator classes by the ``kind`` key of a declarative workload spec.
+WORKLOAD_KINDS = {
+    "payment": PaymentWorkload,
+    "lookup": LookupWorkload,
+    "object": ZipfObjectWorkload,
+    "vertical": VerticalWorkload,
+}
+
+
+def workload_from_spec(spec: Dict[str, object], seed: Optional[int] = None):
+    """Build a workload generator from declarative scenario data.
+
+    ``spec`` is a plain dict with a ``kind`` key (``"payment"``,
+    ``"lookup"``, ``"object"`` or ``"vertical"``); every other key is passed
+    to the generator's constructor.  ``seed`` overrides the spec's seed so
+    scenario replicates can re-seed the same workload shape.  This is how
+    :mod:`repro.scenarios` adapters build a generator when they consume one
+    per-request (e.g. vertical chaincode invocations); families that model
+    load as a rate (PoW backlog, consensus/Fabric Poisson streams) read the
+    same spec's ``rate_tps`` directly, and every adapter validates ``kind``.
+    """
+    params = dict(spec)
+    kind = params.pop("kind", "payment")
+    try:
+        factory = WORKLOAD_KINDS[str(kind)]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; pick one of {sorted(WORKLOAD_KINDS)}"
+        ) from None
+    if seed is not None:
+        params["seed"] = seed
+    return factory(**params)
