@@ -20,10 +20,15 @@ experiments:
 	PYTHONPATH=src $(PY) -m repro.analysis.experiments
 
 # Fast end-to-end smoke of the scenario runner: one trimmed scenario per
-# architecture family, deterministic JSON to stdout.
+# architecture family plus the trimmed figure1 cross-family study,
+# deterministic JSON to stdout.
 smoke:
 	PYTHONPATH=src $(PY) -m repro.run pow-baseline --set architecture.duration_blocks=20 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run pbft-consortium --set duration=1.0 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run fabric-consortium --set duration=1.0 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run kad-lookup --set workload.lookups=20 --set topology.size=150 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run edge-placement --set workload.requests=200 --quiet --json -
+	PYTHONPATH=src $(PY) -m repro.run study figure1 --quiet --json - \
+	  --set bitcoin.architecture.duration_blocks=20 \
+	  --set ethereum.architecture.duration_blocks=60 \
+	  --set pbft.duration=1.0 --set fabric.duration=1.0 --set edge.duration=1.0

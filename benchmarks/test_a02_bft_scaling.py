@@ -13,7 +13,8 @@ from repro.scenarios import run_sweep
 
 
 def _run_sweep():
-    return [point.metrics for point in run_sweep("bft-committee-sweep")]
+    # run_sweep returns a ResultSet; .rows() is its labelled-metrics view.
+    return run_sweep("bft-committee-sweep").rows()
 
 
 def test_a02_bft_scaling(once):

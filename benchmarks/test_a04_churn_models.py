@@ -16,12 +16,13 @@ from repro.scenarios import run_sweep
 
 
 def _run_sweep():
+    # The sweep ResultSet partitions cleanly on the churn distribution (a
+    # dotted spec axis); inside each group the client sweep is one filter.
     points = run_sweep("churn-model-ablation")
-    # variants (churn models) expand as the outer loop, the client sweep as
-    # the inner one: [kad, mainline] per churn model.
     rows = []
-    for index in range(0, len(points), 2):
-        kad, mainline = points[index], points[index + 1]
+    for group in points.group_by("churn.session_distribution").values():
+        kad = group.only(**{"architecture.overlay": "kad"})
+        mainline = group.only(**{"architecture.overlay": "mainline"})
         label = kad.label.split(", overlay=")[0]
         rows.append((label, kad.metrics, mainline.metrics))
     return rows

@@ -10,33 +10,28 @@ declares the four membership rungs as variants (the stable rung differs in
 both churn and routing-table freshness) over one shared client/workload.
 """
 
-from repro.analysis.tables import ResultTable
 from repro.scenarios import run_sweep
 
 
 def _run_sweep():
-    return [(point.label, point.metrics) for point in run_sweep("churn-ladder")]
+    return run_sweep("churn-ladder")
 
 
 def test_e05_churn_performance(once):
-    rows = once(_run_sweep)
+    points = once(_run_sweep)
 
-    table = ResultTable(
-        ["membership", "median_s", "p90_s", "failure_rate", "timeouts/lookup", "staleness"],
+    points.to_table(
+        metrics=["median_latency_s", "p90_latency_s", "failure_rate",
+                 "timeouts_per_lookup", "routing_staleness"],
         title="E5: lookup performance vs churn (stable membership has no rival)",
-    )
-    for label, summary in rows:
-        table.add_row(label, summary["median_latency_s"], summary["p90_latency_s"],
-                      summary["failure_rate"], summary["timeouts_per_lookup"],
-                      summary["routing_staleness"])
-    table.print()
+    ).print()
 
-    stable = rows[0][1]
-    extreme = rows[-1][1]
+    stable = points[0].metrics
+    extreme = points[-1].metrics
     # Shape: latency and timeouts rise with churn; the stable configuration is flat.
     assert stable["median_latency_s"] < 1.0
     assert stable["failure_rate"] <= 0.02
     assert extreme["median_latency_s"] > 2.0 * stable["median_latency_s"]
     assert extreme["timeouts_per_lookup"] > stable["timeouts_per_lookup"]
-    medians = [summary["median_latency_s"] for _, summary in rows]
+    medians = [point.metrics["median_latency_s"] for point in points]
     assert medians[-1] > medians[0]

@@ -4,21 +4,22 @@ Paper: "While VISA is processing 24,000 transactions per second, Bitcoin can
 process between 3.3 and 7 transactions per second, and Ethereum around 15
 per second."
 
-The two PoW networks run through the scenario framework (``pow-baseline``
-and ``pow-ethereum``); the cloud side is the analytic partitioned-OLTP
-ceiling, which needs no simulation.
+The two PoW networks run as members of the ``figure1`` study — the same
+matched offered payment load every architecture family sees — and are pulled
+out of the study's ResultSet; the cloud side is the analytic
+partitioned-OLTP ceiling, which needs no simulation.
 """
 
 from repro.analysis.tables import ResultTable
 from repro.blockchain.throughput import REFERENCE_SYSTEMS, ThroughputModel
-from repro.scenarios import run_scenario
+from repro.scenarios import run_study
 
 
 def _run_networks():
-    bitcoin = run_scenario("pow-baseline").metrics
-    ethereum = run_scenario("pow-ethereum").metrics
+    networks = run_study("figure1", members=["bitcoin", "ethereum"])
     cloud_tps = ThroughputModel().cloud_capacity_tps(partitions=16)
-    return bitcoin, ethereum, cloud_tps
+    return (networks.only(label="bitcoin").metrics,
+            networks.only(label="ethereum").metrics, cloud_tps)
 
 
 def test_e07_throughput_comparison(once):

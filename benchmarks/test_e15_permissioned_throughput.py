@@ -5,27 +5,37 @@ different consensus algorithms such as crash fault-tolerant (CFT) or
 byzantine fault tolerant (BFT) protocols", and "consensus or replication can
 be configured between a subset of the nodes of the network".
 
-All four systems run through the scenario framework — the same registry
-entries E7 and the examples use, with one dotted-path override trimming the
-PoW run to this experiment's length.
+All four systems run through the scenario framework into one
+:class:`~repro.analysis.resultset.ResultSet` — the same registry entries E7
+and the examples use, with one dotted-path override trimming the PoW run to
+this experiment's length — and the rows are pulled from its query surface.
 """
 
+from repro.analysis.resultset import ResultSet
 from repro.analysis.tables import ResultTable
 from repro.scenarios import run_scenario
 
 
 def _run_all():
-    pow_metrics = run_scenario(
-        "pow-baseline", overrides={"architecture.duration_blocks": 60}
-    ).metrics
-    pbft = run_scenario("pbft-consortium").metrics
-    raft = run_scenario("raft-ordering").metrics
-    fabric = run_scenario("fabric-consortium").metrics
-    return pow_metrics, pbft, raft, fabric
+    return ResultSet(
+        [
+            run_scenario("pow-baseline",
+                         overrides={"architecture.duration_blocks": 60}),
+            run_scenario("pbft-consortium"),
+            run_scenario("raft-ordering"),
+            run_scenario("fabric-consortium"),
+        ],
+        name="e15",
+        description="permissioned (BFT/CFT) vs permissionless (PoW)",
+    )
 
 
 def test_e15_permissioned_throughput(once):
-    pow_metrics, pbft, raft, fabric = once(_run_all)
+    results = once(_run_all)
+    pow_metrics = results.only(scenario="pow-baseline").metrics
+    pbft = results.only(scenario="pbft-consortium").metrics
+    raft = results.only(scenario="raft-ordering").metrics
+    fabric = results.only(scenario="fabric-consortium").metrics
     pow_finality = pow_metrics["finality_nominal_s"]
 
     table = ResultTable(
@@ -52,3 +62,6 @@ def test_e15_permissioned_throughput(once):
     assert fabric["throughput_tps"] > 500.0
     assert fabric["mean_latency_s"] < 1.0
     assert fabric["throughput_tps"] / max(pow_metrics["throughput_tps"], 1e-9) > 50.0
+    # The consortium families agree on who holds trust: a known quorum.
+    assert results.filter(family=["consensus", "permissioned"]).axis_values(
+        "trust_nakamoto") == [3.0]

@@ -6,8 +6,8 @@ cloud acting as a utility; blockchain islands interoperate across domains.
 
 The placement comparison and the island federation run through the scenario
 framework (``edge-placement`` and ``edge-federation``); the whole-stack
-comparison uses the :mod:`repro.core` harness directly, as it spans every
-family at once.
+comparison (E16c) comes from ``compare_architectures``, which is now a shim
+over the registered ``figure1`` study — every family through one code path.
 """
 
 from repro.analysis.tables import ResultTable

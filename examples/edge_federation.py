@@ -3,10 +3,11 @@
 
 Places a latency-sensitive service under three strategies (central cloud,
 regional cloud, edge-centric federation) and measures the cross-island
-interoperability overhead between two vertical-domain blockchain islands —
-both driven through the ``repro.scenarios`` framework: the stock
-``edge-placement`` scenario re-parametrized onto a larger topology, and the
-``edge-federation`` scenario re-parametrized with this example's islands.
+interoperability overhead between two vertical-domain blockchain islands.
+Both runs are declared as an *ad-hoc study* — a :class:`StudySpec` built
+inline from the stock ``edge-placement`` and ``edge-federation`` registry
+entries with this example's overrides — and executed by ``run_study`` into
+one queryable ResultSet, exactly like the registered studies.
 
 Run with::
 
@@ -14,7 +15,7 @@ Run with::
 """
 
 from repro.analysis.tables import ResultTable
-from repro.scenarios import run_scenario
+from repro.scenarios import StudyMember, StudySpec, run_study
 
 
 def main() -> None:
@@ -26,12 +27,31 @@ def main() -> None:
           f"{topology['regions'] * topology['organizations_per_region']} edge sites, "
           f"{topology['regions']} regional DCs, 1 central cloud")
 
-    placement = run_scenario(
-        "edge-placement",
-        overrides={"topology": topology, "workload.requests": 2000},
-        seed=13,
+    study = StudySpec(
+        name="edge-federation-example",
+        description="service placement plus island interoperability on one topology",
+        members=[
+            StudyMember("placement", "edge-placement",
+                        {"topology": topology, "workload.requests": 2000,
+                         "seed": 13}),
+            StudyMember("islands", "edge-federation",
+                        {
+                            "architecture.islands": [
+                                {"name": "supply-chain", "domain": "supply-chain",
+                                 "seed_offset": 1},
+                                {"name": "healthcare", "domain": "healthcare",
+                                 "seed_offset": 2},
+                            ],
+                            "architecture.connections": [["supply-chain", "healthcare"]],
+                            "workload.rate_tps": 200.0,
+                            "duration": 4.0,
+                            "seed": 17,
+                        }),
+        ],
     )
-    metrics = placement.metrics
+    results = run_study(study)
+
+    metrics = results.only(label="placement").metrics
     table = ResultTable(
         ["placement", "p50_ms", "p99_ms", "trust_nakamoto", "data stays local"],
         title="Service placement (Figure 1, measured)",
@@ -46,20 +66,7 @@ def main() -> None:
           "the median than the centralized cloud, while spreading trust over the federation.")
 
     print("\nBuilding two blockchain islands and a gateway between them...")
-    federation = run_scenario(
-        "edge-federation",
-        overrides={
-            "architecture.islands": [
-                {"name": "supply-chain", "domain": "supply-chain", "seed_offset": 1},
-                {"name": "healthcare", "domain": "healthcare", "seed_offset": 2},
-            ],
-            "architecture.connections": [["supply-chain", "healthcare"]],
-            "workload.rate_tps": 200.0,
-            "duration": 4.0,
-        },
-        seed=17,
-    )
-    interop = federation.metrics
+    interop = results.only(label="islands").metrics
     interop_table = ResultTable(["quantity", "value"], title="Blockchain-island interoperability")
     interop_table.add_row("intra-island latency (s)", interop["intra_island_latency_s"])
     interop_table.add_row("cross-island latency (s)", interop["cross_island_latency_s"])
@@ -68,7 +75,8 @@ def main() -> None:
     interop_table.print()
 
     print(f"\nTrust is spread over {interop['trust_entities']:.0f} organizations across the "
-          "two islands; no single provider controls the federation.")
+          "two islands (Nakamoto coefficient "
+          f"{interop['trust_nakamoto']:.0f}); no single provider controls the federation.")
 
 
 if __name__ == "__main__":

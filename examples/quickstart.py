@@ -1,57 +1,57 @@
 #!/usr/bin/env python
 """Quickstart: compare the architectures the paper argues about.
 
-Drives one registered scenario from each of the five architecture families
-through the ``repro.scenarios`` framework — the same specs the benchmarks
-and the ``repro-run`` CLI use, trimmed with dotted-path overrides so the
-whole script finishes in a few seconds — then prints the cross-family
-comparison (the measured version of the paper's Figure 1) and the decision
-framework's recommendation for a few example applications.
+Runs the registered ``figure1`` study — the same payment workload offered
+to every architecture family, the measured version of the paper's Figure 1
+— plus one overlay and one edge-placement scenario for the families whose
+story is latency rather than throughput.  Everything lands in
+``ResultSet`` objects, so the comparison is a query, not a hand-written
+loop; the script finishes in a few seconds.
 
 Run with::
 
     python examples/quickstart.py
+
+The same study is available from the command line::
+
+    python -m repro.run study figure1
 """
 
 from repro.analysis.tables import ResultTable
 from repro.core import DecisionInput, recommend_architecture
-from repro.scenarios import run_scenario
+from repro.scenarios import run_scenario, run_study
 
 
 def main() -> None:
-    print("Running one scenario per architecture family (a few seconds)...")
-    runs = [
-        ("pow-baseline", {"architecture.duration_blocks": 30}),
-        ("pbft-consortium", {"duration": 3.0}),
-        ("fabric-consortium", {"duration": 3.0}),
-        ("kad-lookup", {"workload.lookups": 60}),
-        ("edge-placement", {"workload.requests": 1000}),
-    ]
-    results = {name: run_scenario(name, overrides=overrides) for name, overrides in runs}
-
-    table = ResultTable(
-        ["scenario", "family", "throughput_tps", "latency_s", "messages"],
+    print("Running the figure1 study (one payment workload, every family)...")
+    figure1 = run_study("figure1", member_overrides={
+        "bitcoin": {"architecture.duration_blocks": 30},
+        "ethereum": {"architecture.duration_blocks": 120},
+        "pbft": {"duration": 3.0},
+        "fabric": {"duration": 3.0},
+        "edge": {"duration": 2.0},
+    })
+    figure1.to_table(
+        metrics=["throughput_tps", "trust_nakamoto", "energy_per_tx_kwh"],
         title="Architecture comparison (the paper's Figure 1, measured)",
-    )
-    for name, result in results.items():
-        metrics = result.metrics
-        if result.family == "overlay":
-            throughput, latency = "-", metrics["median_latency_s"]
-        elif result.family == "edge":
-            throughput, latency = "-", metrics["edge-centric.p50_latency_ms"] / 1000.0
-        else:
-            throughput = metrics["throughput_tps"]
-            latency = metrics.get("mean_latency_s", metrics.get("latency_mean_s", 0.0))
-        table.add_row(name, result.family, throughput, latency,
-                      metrics.get("messages_sent", "-"))
-    table.print()
+    ).print()
 
-    fabric_tps = results["fabric-consortium"].metric("throughput_tps")
-    pow_tps = results["pow-baseline"].metric("throughput_tps")
-    print(f"\nPermissioned consortium vs Bitcoin-like PoW throughput gap: "
-          f"{fabric_tps / pow_tps:,.0f}x")
-    speedup = results["edge-placement"].metric("speedup_cloud_to_edge")
-    print(f"Edge-centric placement vs central cloud median latency: {speedup:.1f}x faster")
+    fabric_tps = figure1.only(label="fabric").metric("throughput_tps")
+    pow_tps = figure1.only(label="bitcoin").metric("throughput_tps")
+    print(f"\nPermissioned consortium vs Bitcoin-like PoW throughput gap at the "
+          f"same offered load: {fabric_tps / pow_tps:,.0f}x")
+
+    print("\nRunning the latency-side scenarios (overlay lookup, edge placement)...")
+    lookup = run_scenario("kad-lookup", overrides={"workload.lookups": 60})
+    placement = run_scenario("edge-placement", overrides={"workload.requests": 1000})
+    latency = ResultTable(["scenario", "family", "median_latency_s"],
+                          title="Latency-centric families")
+    latency.add_row("kad-lookup", lookup.family, lookup.metric("median_latency_s"))
+    latency.add_row("edge-placement", placement.family,
+                    placement.metric("edge-centric.p50_latency_ms") / 1000.0)
+    latency.print()
+    speedup = placement.metric("speedup_cloud_to_edge")
+    print(f"\nEdge-centric placement vs central cloud median latency: {speedup:.1f}x faster")
 
     print("\nDecision framework (Section V use cases):")
     applications = {

@@ -1,5 +1,6 @@
 """Statistics and reporting helpers shared by experiments and benchmarks."""
 
+from repro.analysis.resultset import ResultSet
 from repro.analysis.stats import (
     bootstrap_ci,
     cdf_points,
@@ -21,5 +22,6 @@ __all__ = [
     "mean",
     "percentile",
     "stdev",
+    "ResultSet",
     "ResultTable",
 ]

@@ -9,9 +9,16 @@
     python -m repro.run pbft-consortium --sweep "architecture.replicas=4,7,13"
     python -m repro.run churn-ladder --json results.json
 
+    python -m repro.run --list-studies
+    python -m repro.run study figure1 --json - --replicates 3
+    python -m repro.run study figure1 --members bitcoin,fabric
+    python -m repro.run study figure1 --set bitcoin.architecture.duration_blocks=20
+
 Installed as the ``repro-run`` console script.  ``--set``/``--sweep``
 values are parsed as JSON where possible (``none`` → null), so
 ``--set churn=none`` and ``--set 'churn={"mean_session": 600}'`` both work.
+For studies, ``--set`` takes ``MEMBER.PATH=VALUE`` where ``MEMBER`` is a
+member label from ``--list-studies`` (or ``*`` for every member).
 Output at a fixed seed is deterministic: two runs of the same command
 produce byte-identical JSON.
 """
@@ -26,10 +33,14 @@ from typing import Dict, List, Optional
 from repro.analysis.tables import ResultTable
 from repro.scenarios import (
     SCENARIOS,
+    STUDIES,
     get_scenario,
+    get_study,
     results_to_json,
+    run_study,
     run_sweep,
     scenario_names,
+    study_names,
 )
 
 
@@ -66,31 +77,125 @@ def _list_scenarios() -> None:
     print(table.render())
 
 
+def _list_studies() -> None:
+    table = ResultTable(["study", "claim", "members", "description"],
+                        title="Registered studies (python -m repro.run study <name>)")
+    for name in study_names():
+        spec = STUDIES[name]
+        table.add_row(name, spec.claim or "-",
+                      ", ".join(spec.member_labels()), spec.description)
+    print(table.render())
+
+
+def _emit_json(payload: str, destination: str, quiet: bool) -> None:
+    if destination == "-":
+        print(payload)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        if not quiet:
+            print(f"\nwrote {destination}")
+
+
+def _run_study_command(args) -> int:
+    if not args.study_name:
+        _list_studies()
+        return 2
+    try:
+        study = get_study(args.study_name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.sweeps:
+        raise SystemExit("--sweep applies to scenarios; studies declare their "
+                         "sweeps on swept members")
+
+    member_overrides: Dict[str, Dict[str, object]] = {}
+    for assignment in args.overrides:
+        path, value = _parse_assignment(assignment, "--set")
+        member, separator, rest = path.partition(".")
+        if not separator or not rest:
+            raise SystemExit(
+                f"--set for studies expects MEMBER.PATH=VALUE (members: "
+                f"{study.member_labels()}, or '*'), got {assignment!r}"
+            )
+        if member != "*" and member not in study.member_labels():
+            print(f"unknown member {member!r} of study {study.name!r}; "
+                  f"members: {study.member_labels()}", file=sys.stderr)
+            return 2
+        member_overrides.setdefault(member, {})[rest] = _parse_value(value)
+
+    members = [label.strip() for label in args.members.split(",")] \
+        if args.members else None
+    try:
+        results = run_study(study, seed=args.seed, replicates=args.replicates,
+                            members=members, member_overrides=member_overrides)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        for result in results:
+            print()
+            print(result.table().render())
+        print()
+        comparison = results.to_table(
+            metrics=study.compare_metrics or None,
+            title=f"study {study.name}: {study.description}",
+        )
+        print(comparison.render())
+
+    if args.json_out:
+        _emit_json(results.to_json(), args.json_out, args.quiet)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-run",
-        description="Run a named scenario through the architecture adapters.",
+        description="Run a named scenario (or study) through the architecture adapters.",
     )
-    parser.add_argument("scenario", nargs="?", help="registered scenario name")
+    parser.add_argument("scenario", nargs="?",
+                        help="registered scenario name, or the literal 'study'")
+    parser.add_argument("study_name", nargs="?", metavar="STUDY",
+                        help="study name (only after the 'study' subcommand)")
     parser.add_argument("--list", action="store_true", help="list registered scenarios")
+    parser.add_argument("--list-studies", action="store_true",
+                        help="list registered cross-family studies")
     parser.add_argument("--seed", type=int, default=None, help="override the base seed")
     parser.add_argument("--replicates", type=int, default=None,
                         help="seeds per point (seed, seed+1, ...)")
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         metavar="PATH=VALUE",
-                        help="override a spec field by dotted path (repeatable)")
+                        help="override a spec field by dotted path (repeatable); "
+                             "for studies the first segment is the member label")
     parser.add_argument("--sweep", dest="sweeps", action="append", default=[],
                         metavar="PATH=V1,V2,...",
                         help="add a sweep axis over comma-separated values (repeatable)")
+    parser.add_argument("--members", metavar="L1,L2,...",
+                        help="run only these members of a study")
     parser.add_argument("--json", dest="json_out", metavar="PATH",
                         help="write the result JSON to PATH ('-' for stdout)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the metric tables")
     args = parser.parse_args(argv)
 
+    if args.list_studies:
+        _list_studies()
+        return 0
     if args.list or not args.scenario:
         _list_scenarios()
         return 0 if args.list else 2
+
+    if args.scenario == "study":
+        return _run_study_command(args)
+    if args.study_name:
+        raise SystemExit(
+            f"unexpected extra argument {args.study_name!r}; did you mean "
+            f"'study {args.scenario}'?"
+        )
+    if args.members:
+        raise SystemExit("--members applies to studies (repro-run study <name>)")
 
     try:
         spec = get_scenario(args.scenario)
@@ -118,14 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if len(results) == 1:
             payload = results[0].to_json()
         else:
-            payload = results_to_json(results)
-        if args.json_out == "-":
-            print(payload)
-        else:
-            with open(args.json_out, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
-            if not args.quiet:
-                print(f"\nwrote {args.json_out}")
+            payload = results_to_json(results.results)
+        _emit_json(payload, args.json_out, args.quiet)
     return 0
 
 

@@ -34,16 +34,37 @@ Usage::
                         duration=5.0, seed=42)
     result = run_scenario(spec)
 
+Collections of results — sweep output, study output — are
+:class:`~repro.analysis.resultset.ResultSet` objects with a
+filter/group_by/pivot/aggregate/CI query surface, and cross-family
+comparisons are first-class *studies*::
+
+    from repro.scenarios import run_study, run_sweep
+
+    # The paper's Figure 1: one payment workload through every family.
+    results = run_study("figure1", replicates=3)
+    print(results.to_table(metrics=["throughput_tps", "trust_nakamoto"]).render())
+    gap = (results.only(label="fabric").metric("throughput_tps")
+           / results.only(label="bitcoin").metric("throughput_tps"))
+
+    # Sweeps return ResultSets too.
+    points = run_sweep("bft-committee-sweep")
+    print(points.pivot(rows="architecture.replicas", cols="family",
+                       metric="throughput_tps").render())
+
 The same registry drives the command line (installed as ``repro-run``)::
 
     python -m repro.run --list
+    python -m repro.run --list-studies
     python -m repro.run pow-baseline --json -
     python -m repro.run kad-lookup --set topology.size=800 --sweep "churn=kad,aggressive"
+    python -m repro.run study figure1 --json - --replicates 3
 
-Scenario results at a fixed seed are fully deterministic: two runs of the
-same spec produce byte-identical ``to_json()`` output.
+Scenario and study results at a fixed seed are fully deterministic: two
+runs of the same spec produce byte-identical ``to_json()`` output.
 """
 
+from repro.analysis.resultset import ResultSet
 from repro.scenarios.adapters import (
     ADAPTERS,
     ArchitectureAdapter,
@@ -58,6 +79,15 @@ from repro.scenarios.registry import SCENARIOS, get_scenario, register, scenario
 from repro.scenarios.result import ReplicateResult, ScenarioResult, results_to_json
 from repro.scenarios.runner import resolve_spec, run_scenario, run_sweep, sweep_metrics
 from repro.scenarios.spec import FAMILIES, ScenarioSpec
+from repro.scenarios.study import (
+    STUDIES,
+    StudyMember,
+    StudySpec,
+    get_study,
+    register_study,
+    run_study,
+    study_names,
+)
 
 __all__ = [
     "ADAPTERS",
@@ -69,16 +99,24 @@ __all__ = [
     "PermissionedAdapter",
     "PermissionlessAdapter",
     "ReplicateResult",
+    "ResultSet",
     "SCENARIOS",
+    "STUDIES",
     "ScenarioResult",
     "ScenarioSpec",
+    "StudyMember",
+    "StudySpec",
     "adapter_for",
     "get_scenario",
+    "get_study",
     "register",
+    "register_study",
     "resolve_spec",
     "results_to_json",
     "run_scenario",
+    "run_study",
     "run_sweep",
     "scenario_names",
+    "study_names",
     "sweep_metrics",
 ]

@@ -21,6 +21,12 @@ from typing import Dict, Optional
 from repro.scenarios.spec import ScenarioSpec
 
 
+#: Energy per transaction for a consortium of a few commodity servers per
+#: organization (kWh) — shared by the consensus, permissioned and
+#: edge-federation adapters so the cross-family comparison stays consistent.
+CONSORTIUM_ENERGY_PER_TX_KWH = 2e-6
+
+
 def _float_metrics(raw: Dict[str, object], prefix: str = "") -> Dict[str, float]:
     """Keep the numeric entries of a summary dict, as floats."""
     return {
@@ -71,15 +77,29 @@ class ArchitectureAdapter:
 # Permissionless blockchains (proof-of-work networks, proof-of-stake model)
 # ----------------------------------------------------------------------
 class PermissionlessAdapter(ArchitectureAdapter):
-    """PoW networks and the chain-based PoS fork-persistence model.
+    """PoW networks, the PoS fork model, and open-ecosystem economics.
 
-    ``architecture`` keys: ``consensus`` (``"pow"``, default, or ``"pos"``).
-    For PoW: ``protocol`` (preset name or dict), ``miner_count``,
-    ``duration_blocks``, plus any other
-    :class:`~repro.blockchain.network.PoWNetworkConfig` field; the offered
-    transaction load comes from ``workload["rate_tps"]``.  For PoS:
-    :class:`~repro.blockchain.proof_of_stake.ProofOfStakeParams` fields
-    (``slashing``, ``multi_vote_fraction``, ``rounds``, ...).
+    ``architecture`` keys: ``consensus`` selects the substrate —
+
+    * ``"pow"`` (default): ``protocol`` (preset name or dict),
+      ``miner_count``, ``duration_blocks``, plus any other
+      :class:`~repro.blockchain.network.PoWNetworkConfig` field; the offered
+      transaction load comes from ``workload["rate_tps"]``.
+    * ``"pos"``:
+      :class:`~repro.blockchain.proof_of_stake.ProofOfStakeParams` fields
+      (``slashing``, ``multi_vote_fraction``, ``rounds``, ...).
+    * ``"market"``: the preferential-attachment provider market of
+      :class:`~repro.economics.market.MarketModel` (E1 — why open markets
+      concentrate); ``providers``, ``steps``, ``arrivals_per_step`` plus any
+      :class:`~repro.economics.market.MarketParams` field.
+    * ``"pools"``: hash-power pool formation via
+      :class:`~repro.blockchain.pools.PoolFormationModel` (E9); ``miners``,
+      ``rounds`` plus any
+      :class:`~repro.blockchain.pools.PoolFormationConfig` field.
+
+    The two economics modes model the *decentralization* axis of the same
+    open/permissionless ecosystems the PoW/PoS modes measure, which is why
+    they live in this family.
     """
 
     family = "permissionless"
@@ -87,6 +107,40 @@ class PermissionlessAdapter(ArchitectureAdapter):
     def setup(self, spec: ScenarioSpec, seed: int):
         arch = dict(spec.architecture)
         consensus = str(arch.pop("consensus", "pow"))
+        if consensus == "market":
+            from repro.economics.market import MarketModel, MarketParams
+
+            params = MarketParams(
+                providers=int(arch.get("providers", 20)),
+                initial_customers_per_provider=int(
+                    arch.get("initial_customers_per_provider", 5)),
+                preferential_exponent=float(arch.get("preferential_exponent", 1.2)),
+                exploration_rate=float(arch.get("exploration_rate", 0.05)),
+                scale_advantage=float(arch.get("scale_advantage", 1.0)),
+                churn_rate=float(arch.get("churn_rate", 0.02)),
+            )
+            return {
+                "consensus": "market",
+                "model": MarketModel(params, seed=seed),
+                "steps": int(arch.get("steps", 250)),
+                "arrivals": int(arch.get("arrivals_per_step", 200)),
+            }
+        if consensus == "pools":
+            from repro.blockchain.pools import PoolFormationConfig, PoolFormationModel
+
+            config = PoolFormationConfig(
+                miners=int(arch.get("miners", 2000)),
+                pools=int(arch.get("pools", 20)),
+                rounds=int(arch.get("rounds", 150)),
+                hashrate_pareto_shape=float(arch.get("hashrate_pareto_shape", 1.16)),
+                size_preference_exponent=float(
+                    arch.get("size_preference_exponent", 1.08)),
+                exploration_rate=float(arch.get("exploration_rate", 0.15)),
+                switch_probability=float(arch.get("switch_probability", 0.2)),
+                solo_threshold_share=float(arch.get("solo_threshold_share", 0.01)),
+                seed=seed,
+            )
+            return {"consensus": "pools", "model": PoolFormationModel(config)}
         if consensus == "pos":
             from repro.blockchain.proof_of_stake import (
                 NothingAtStakeModel,
@@ -127,11 +181,26 @@ class PermissionlessAdapter(ArchitectureAdapter):
         return {"consensus": "pow", "network": PoWNetwork(config), "protocol": protocol}
 
     def run(self, context):
-        if context["consensus"] == "pos":
+        if context["consensus"] == "market":
+            return context["model"].run(steps=context["steps"],
+                                        arrivals_per_step=context["arrivals"])
+        if context["consensus"] in ("pos", "pools"):
             return context["model"].run()
         return context["network"].run()
 
     def collect(self, context, outcome) -> Dict[str, float]:
+        if context["consensus"] == "market":
+            metrics = {key: float(value)
+                       for key, value in outcome.concentration().items()}
+            metrics["steps"] = float(outcome.step)
+            return metrics
+        if context["consensus"] == "pools":
+            from repro.economics.concentration import concentration_report
+
+            metrics = {key: float(value)
+                       for key, value in concentration_report(outcome.shares()).items()}
+            metrics["rounds"] = float(outcome.round_index)
+            return metrics
         if context["consensus"] == "pos":
             return {
                 "forks_started": float(outcome.forks_started),
@@ -141,6 +210,7 @@ class PermissionlessAdapter(ArchitectureAdapter):
                 "rounds": float(outcome.total_rounds),
             }
         from repro.blockchain.energy import EnergyModel
+        from repro.economics.concentration import nakamoto_coefficient
 
         protocol = context["protocol"]
         network = context["network"]
@@ -149,7 +219,10 @@ class PermissionlessAdapter(ArchitectureAdapter):
             # PoW-era Ethereum burned roughly a third of Bitcoin's power at a
             # few times its transaction rate (same scaling as repro.core).
             energy /= 10.0
+        miner_blocks = outcome.blocks_by_miner
         return {
+            "trust_nakamoto": float(nakamoto_coefficient(miner_blocks))
+            if miner_blocks else 1.0,
             "throughput_tps": outcome.throughput_tps,
             "offered_load_tps": outcome.offered_load_tps,
             "capacity_tps": outcome.capacity_tps,
@@ -202,9 +275,16 @@ class ConsensusAdapter(ArchitectureAdapter):
         return context.run()
 
     def collect(self, context, outcome) -> Dict[str, float]:
+        from repro.economics.concentration import nakamoto_coefficient
+
         metrics = _float_metrics(outcome.summary())
         metrics["messages_sent"] = float(outcome.messages_sent)
         metrics["bytes_sent"] = float(outcome.bytes_sent)
+        replicas = context.config.replicas
+        metrics["trust_nakamoto"] = float(
+            nakamoto_coefficient({str(index): 1.0 for index in range(replicas)})
+        )
+        metrics["energy_per_tx_kwh"] = CONSORTIUM_ENERGY_PER_TX_KWH
         return metrics
 
 
@@ -271,11 +351,16 @@ class PermissionedAdapter(ArchitectureAdapter):
         )
 
     def collect(self, context, outcome) -> Dict[str, float]:
+        from repro.economics.concentration import nakamoto_coefficient
+
         metrics = _float_metrics(outcome.summary())
         metrics["submitted"] = float(outcome.submitted)
         metrics["committed_invalid"] = float(outcome.committed_invalid)
-        # A consortium of a few commodity servers per organization.
-        metrics["energy_per_tx_kwh"] = 2e-6
+        metrics["energy_per_tx_kwh"] = CONSORTIUM_ENERGY_PER_TX_KWH
+        organizations = context["network"].msp.organization_names()
+        metrics["trust_nakamoto"] = float(
+            nakamoto_coefficient({org: 1.0 for org in organizations})
+        )
         return metrics
 
 
@@ -283,25 +368,45 @@ class PermissionedAdapter(ArchitectureAdapter):
 # Open P2P overlays (Kademlia-style DHT lookups under churn)
 # ----------------------------------------------------------------------
 class OverlayAdapter(ArchitectureAdapter):
-    """DHT lookup experiments over the Kademlia simulator.
+    """Open-overlay lookup experiments: structured DHTs, one-hop, flooding.
 
-    ``architecture`` keys: ``overlay`` (client preset ``"kad"`` /
-    ``"mainline"`` or a dict of
-    :class:`~repro.p2p.kademlia.KademliaConfig` fields) and optional
-    ``client_overrides`` applied on top of the preset.  ``topology["size"]``
-    is the network size, ``workload`` carries ``lookups`` and
-    ``interval_s``, and ``churn`` follows
-    :meth:`repro.sim.churn.ChurnModel.from_spec`.
+    ``architecture["overlay"]`` selects the substrate:
+
+    * a Kademlia client preset (``"kad"`` / ``"mainline"``) or a dict of
+      :class:`~repro.p2p.kademlia.KademliaConfig` fields, with optional
+      ``client_overrides`` applied on top — the multi-hop DHT path;
+    * ``"onehop"`` — the full-membership
+      :class:`~repro.p2p.onehop.OneHopOverlay` (E6), with
+      ``dissemination_delay``, ``lookup_timeout`` and ``hop_latency`` knobs;
+    * ``"gnutella"`` / ``"unstructured"`` — TTL-limited flooding over a
+      :class:`~repro.p2p.unstructured.GnutellaNetwork` (``degree``, ``ttl``,
+      ``objects``, ``replicas_per_object``, ``sharing_fraction``); the churn
+      model scales the sharing fraction by the implied mean availability,
+      so all three substrates can run under the same churn trace.
+
+    In every mode ``topology["size"]`` is the network size, ``workload``
+    carries ``lookups`` (and ``interval_s`` for the DHT), and ``churn``
+    follows :meth:`repro.sim.churn.ChurnModel.from_spec`.  All three modes
+    report comparable ``median/p90/mean_latency_s`` and ``failure_rate``
+    metrics so cross-substrate studies can pivot on them directly.
     """
 
     family = "overlay"
 
     def setup(self, spec: ScenarioSpec, seed: int):
+        _expect_workload_kind(spec, ("lookup",), default="lookup")
+        overlay = spec.architecture.get("overlay", "kad")
+        if isinstance(overlay, str) and overlay in ("onehop", "one-hop"):
+            return self._setup_onehop(spec, seed)
+        if isinstance(overlay, str) and overlay in ("gnutella", "unstructured"):
+            return self._setup_gnutella(spec, seed)
+        return self._setup_kademlia(spec, seed)
+
+    def _setup_kademlia(self, spec: ScenarioSpec, seed: int):
         from repro.p2p.kademlia import KademliaConfig
         from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
         from repro.sim.churn import ChurnModel
 
-        _expect_workload_kind(spec, ("lookup",), default="lookup")
         client = KademliaConfig.by_name(spec.architecture.get("overlay", "kad"))
         overrides = spec.architecture.get("client_overrides") or {}
         if overrides:
@@ -314,12 +419,104 @@ class OverlayAdapter(ArchitectureAdapter):
             churn=ChurnModel.from_spec(spec.churn),
             seed=seed,
         )
-        return LookupExperiment(config)
+        return {"mode": "kademlia", "experiment": LookupExperiment(config)}
+
+    def _setup_onehop(self, spec: ScenarioSpec, seed: int):
+        from repro.p2p.onehop import OneHopConfig, OneHopOverlay
+        from repro.sim.churn import ChurnModel
+
+        arch = spec.architecture
+        config = OneHopConfig(
+            size=int(spec.topology.get("size", 10_000)),
+            churn=ChurnModel.from_spec(spec.churn),
+            dissemination_delay=float(arch.get("dissemination_delay", 1.0)),
+            lookup_timeout=float(arch.get("lookup_timeout", 1.0)),
+        )
+        return {
+            "mode": "onehop",
+            "overlay": OneHopOverlay(config, seed=seed),
+            "lookups": int(spec.workload.get("lookups", 300)),
+            "hop_latency": float(arch.get("hop_latency", 0.08)),
+        }
+
+    def _setup_gnutella(self, spec: ScenarioSpec, seed: int):
+        from repro.p2p.unstructured import GnutellaConfig, GnutellaNetwork
+        from repro.sim.churn import ChurnModel
+
+        arch = spec.architecture
+        churn = ChurnModel.from_spec(spec.churn)
+        availability = churn.availability if churn is not None else 1.0
+        config = GnutellaConfig(
+            size=int(spec.topology.get("size", 1000)),
+            degree=int(arch.get("degree", 4)),
+            ttl=int(arch.get("ttl", 4)),
+            objects=int(arch.get("objects", 500)),
+            replicas_per_object=int(arch.get("replicas_per_object", 5)),
+            zipf_exponent=float(arch.get("zipf_exponent", 0.8)),
+            sharing_fraction=float(arch.get("sharing_fraction", 1.0)) * availability,
+            hop_latency_mean=float(arch.get("hop_latency_mean", 0.1)),
+        )
+        return {
+            "mode": "gnutella",
+            "network": GnutellaNetwork(config, seed=seed),
+            "queries": int(spec.workload.get("lookups", 200)),
+            "availability": availability,
+        }
 
     def run(self, context):
-        return context.run()
+        if context["mode"] == "onehop":
+            return context["overlay"].lookup_latencies(
+                context["lookups"], hop_latency=context["hop_latency"]
+            )
+        if context["mode"] == "gnutella":
+            return context["network"].run_queries(context["queries"])
+        return context["experiment"].run()
 
     def collect(self, context, outcome) -> Dict[str, float]:
+        from repro.analysis.stats import mean, percentile
+
+        if context["mode"] == "onehop":
+            overlay = context["overlay"]
+            config = overlay.config
+            return {
+                "lookups": float(len(outcome)),
+                "median_latency_s": percentile(outcome, 50),
+                "p90_latency_s": percentile(outcome, 90),
+                "p99_latency_s": percentile(outcome, 99),
+                "mean_latency_s": mean(outcome),
+                # A stale entry costs a timeout and a retry, not a failure.
+                "failure_rate": 0.0,
+                "routing_staleness": overlay.staleness_probability(),
+                "maintenance_kbps": overlay.maintenance_bandwidth_bps() * 8.0 / 1e3,
+                "membership_state_mb": (
+                    config.size * config.membership_entry_bytes / 1e6
+                ),
+            }
+        if context["mode"] == "gnutella":
+            found = [query for query in outcome if query.found]
+            hit_latencies = [query.latency for query in found]
+            recall = len(found) / len(outcome) if outcome else 0.0
+            metrics = {
+                "lookups": float(len(outcome)),
+                "recall": recall,
+                "failure_rate": 1.0 - recall,
+                "messages_per_lookup": mean([query.messages for query in outcome]),
+                "peers_reached_per_lookup": mean(
+                    [query.peers_reached for query in outcome]),
+                "sharing_availability": context["availability"],
+            }
+            # Latency is only defined over hits; omitting the keys (rather
+            # than reporting 0.0) keeps a fully-failing run from looking
+            # instant in cross-substrate comparison tables.
+            if found:
+                metrics.update({
+                    "median_latency_s": percentile(hit_latencies, 50),
+                    "p90_latency_s": percentile(hit_latencies, 90),
+                    "mean_latency_s": mean(hit_latencies),
+                    "hops_to_first_hit": mean(
+                        [query.first_hit_hops or 0 for query in found]),
+                })
+            return metrics
         return _float_metrics(outcome.summary())
 
 
@@ -413,9 +610,18 @@ class EdgeAdapter(ArchitectureAdapter):
                 metrics.update(_float_metrics(result.summary(), prefix=f"{name}."))
             metrics["speedup_cloud_to_edge"] = outcome.speedup("cloud-only", "edge-centric")
             return metrics
+        from repro.economics.concentration import nakamoto_coefficient
+
         metrics = {key: float(value) for key, value in outcome.items()}
         federation = context["federation"]
-        metrics["trust_entities"] = float(len(federation.federation_trust_entities()))
+        trust = federation.federation_trust_entities()
+        metrics["trust_entities"] = float(len(trust))
+        metrics["trust_nakamoto"] = float(nakamoto_coefficient(trust)) if trust else 1.0
+        # Cross-family comparability aliases: the federation's sustained rate
+        # is the source island's committed throughput, and its footprint is
+        # the consortium-hardware figure the permissioned family reports.
+        metrics["throughput_tps"] = metrics.get("source_throughput_tps", 0.0)
+        metrics["energy_per_tx_kwh"] = CONSORTIUM_ENERGY_PER_TX_KWH
         return metrics
 
 

@@ -159,6 +159,31 @@ register(ScenarioSpec(
 ))
 
 # ----------------------------------------------------------------------
+# Open-ecosystem economics (market/pool concentration)
+# ----------------------------------------------------------------------
+register(ScenarioSpec(
+    name="market-concentration",
+    family="permissionless",
+    description="Preferential-attachment provider market: why open markets concentrate",
+    claim="E1",
+    architecture={"consensus": "market", "providers": 20, "steps": 250,
+                  "arrivals_per_step": 200},
+    seed=1,
+    sweeps={"architecture.preferential_exponent": [0.0, 0.6, 1.2]},
+))
+
+register(ScenarioSpec(
+    name="mining-pools",
+    family="permissionless",
+    description="Hash-power pool formation: a handful of pools end up controlling 75%",
+    claim="E9",
+    architecture={"consensus": "pools", "miners": 1200, "rounds": 120,
+                  "size_preference_exponent": 1.12, "exploration_rate": 0.12,
+                  "solo_threshold_share": 0.03},
+    seed=3,
+))
+
+# ----------------------------------------------------------------------
 # Open P2P overlays
 # ----------------------------------------------------------------------
 register(ScenarioSpec(
@@ -231,6 +256,29 @@ register(ScenarioSpec(
                       "mean_downtime": 3600.0},
         },
     },
+))
+
+register(ScenarioSpec(
+    name="onehop-lookup",
+    family="overlay",
+    description="One-hop (full membership) overlay: O(1) lookups for stable 10K-100K networks",
+    claim="E6",
+    architecture={"overlay": "onehop"},
+    topology={"size": 50_000},
+    churn="stable",
+    workload={"kind": "lookup", "lookups": 300},
+    seed=3,
+))
+
+register(ScenarioSpec(
+    name="gnutella-search",
+    family="overlay",
+    description="Gnutella-style TTL-limited flooding: recall vs message cost",
+    claim="E4",
+    architecture={"overlay": "gnutella", "degree": 4, "ttl": 4},
+    topology={"size": 1000},
+    workload={"kind": "lookup", "lookups": 200},
+    seed=3,
 ))
 
 # ----------------------------------------------------------------------

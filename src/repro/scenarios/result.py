@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from functools import cached_property
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.analysis.stats import bootstrap_ci
 from repro.analysis.tables import ResultTable
 
 
@@ -27,10 +29,22 @@ class ReplicateResult:
         """Plain JSON-serialisable representation."""
         return {"seed": self.seed, "metrics": dict(sorted(self.metrics.items()))}
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ReplicateResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(seed=int(data["seed"]),
+                   metrics={key: float(value)
+                            for key, value in dict(data["metrics"]).items()})
+
 
 @dataclass
 class ScenarioResult:
-    """Aggregated outcome of one scenario (all replicates)."""
+    """Aggregated outcome of one scenario (all replicates).
+
+    Results are immutable after construction (the runner never touches the
+    replicate list again), so the aggregated :attr:`metrics` view is computed
+    once on first access and cached for the lifetime of the object.
+    """
 
     scenario: str
     family: str
@@ -38,9 +52,9 @@ class ScenarioResult:
     replicates: List[ReplicateResult]
     label: str = ""
 
-    @property
+    @cached_property
     def metrics(self) -> Dict[str, float]:
-        """Mean of every metric across replicates."""
+        """Mean of every metric across replicates (computed once, cached)."""
         if not self.replicates:
             return {}
         totals: Dict[str, float] = {}
@@ -72,6 +86,17 @@ class ScenarioResult:
             "max": max(values),
         }
 
+    def ci95(self, key: str) -> Tuple[float, float]:
+        """95% bootstrap confidence interval for a metric's replicate mean.
+
+        Deterministic (fixed resampling seed); with a single replicate the
+        interval degenerates to that value.
+        """
+        values = [r.metrics[key] for r in self.replicates if key in r.metrics]
+        if not values:
+            raise KeyError(key)
+        return bootstrap_ci(values, confidence=0.95, seed=0)
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -83,10 +108,12 @@ class ScenarioResult:
         seeds = [r.seed for r in self.replicates]
         title += f" — seeds {seeds}" if len(seeds) > 1 else f" — seed {seeds[0]}" if seeds else ""
         if len(self.replicates) > 1:
-            table = ResultTable(["metric", "mean", "min", "max"], title=title)
+            table = ResultTable(["metric", "mean", "ci95", "min", "max"], title=title)
             for key in sorted(self.metrics):
                 stats = self.spread(key)
-                table.add_row(key, stats["mean"], stats["min"], stats["max"])
+                low, high = self.ci95(key)
+                table.add_row(key, stats["mean"], f"[{low:.4g}, {high:.4g}]",
+                              stats["min"], stats["max"])
         else:
             table = ResultTable(["metric", "value"], title=title)
             for key, value in sorted(self.metrics.items()):
@@ -110,6 +137,18 @@ class ScenarioResult:
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Deterministic JSON rendering of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioResult":
+        """Inverse of :meth:`to_dict` (the stored mean metrics are recomputed)."""
+        return cls(
+            scenario=str(data["scenario"]),
+            family=str(data["family"]),
+            label=str(data.get("label", "")),
+            spec=dict(data.get("spec") or {}),
+            replicates=[ReplicateResult.from_dict(entry)
+                        for entry in data.get("replicates", [])],
+        )
 
 
 def results_to_json(results: List[ScenarioResult], indent: Optional[int] = 2) -> str:

@@ -2,13 +2,15 @@
 
 ``run_scenario`` executes one concrete spec (the base configuration of a
 swept spec); ``run_sweep`` expands a spec's variants/sweeps and runs every
-point.  Both accept either a registry name or a :class:`ScenarioSpec`.
+point into a :class:`~repro.analysis.resultset.ResultSet`.  Both accept
+either a registry name or a :class:`ScenarioSpec`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Union
 
+from repro.analysis.resultset import ResultSet
 from repro.scenarios.adapters import adapter_for
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.result import ReplicateResult, ScenarioResult
@@ -68,17 +70,23 @@ def run_sweep(
     overrides: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = None,
     replicates: Optional[int] = None,
-) -> List[ScenarioResult]:
-    """Expand a spec's variants/sweeps and run every point, in order."""
+) -> ResultSet:
+    """Expand a spec's variants/sweeps and run every point, in order.
+
+    Returns a :class:`~repro.analysis.resultset.ResultSet` (iterable and
+    indexable like the list it used to be, plus the
+    filter/group/pivot/CI query surface).
+    """
     spec = resolve_spec(scenario, overrides, seed, replicates)
-    return [_run_concrete(point, label) for label, point in spec.expand()]
+    return ResultSet(
+        [_run_concrete(point, label) for label, point in spec.expand()],
+        name=spec.name,
+        description=spec.description,
+    )
 
 
-def sweep_metrics(results: List[ScenarioResult]) -> List[Dict[str, float]]:
+def sweep_metrics(results: Union[ResultSet, List[ScenarioResult]]) -> List[Dict[str, float]]:
     """The aggregated metric dict of each sweep point, labelled."""
-    rows: List[Dict[str, float]] = []
-    for result in results:
-        row: Dict[str, object] = {"label": result.label}
-        row.update(result.metrics)
-        rows.append(row)
-    return rows
+    if not isinstance(results, ResultSet):
+        results = ResultSet(results)
+    return [{"label": result.label, **result.metrics} for result in results]

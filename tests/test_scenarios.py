@@ -168,6 +168,59 @@ class TestRunner:
             assert by_framework[key] == pytest.approx(value, abs=1e-12), key
 
 
+class TestNewScenarioModes:
+    """The adapter modes behind the E1/E4/E6/E9 registry entries."""
+
+    def test_market_concentration_prefers_preferential(self):
+        trims = {"architecture.steps": 60, "architecture.arrivals_per_step": 80}
+        preferential = run_scenario("market-concentration", overrides=trims)
+        uniform = run_scenario(
+            "market-concentration",
+            overrides={**trims, "architecture.preferential_exponent": 0.0,
+                       "architecture.scale_advantage": 0.0})
+        assert preferential.metric("top3") > uniform.metric("top3")
+        assert preferential.metric("hhi") > uniform.metric("hhi")
+
+    def test_mining_pools_concentrate(self):
+        result = run_scenario("mining-pools",
+                              overrides={"architecture.miners": 400,
+                                         "architecture.rounds": 60})
+        assert result.metric("top6") > 0.5
+        assert result.metric("nakamoto") <= 6
+
+    def test_onehop_beats_multihop_latency_under_stable_churn(self):
+        onehop = run_scenario("onehop-lookup",
+                              overrides={"workload.lookups": 60})
+        kad = run_scenario("kad-lookup",
+                           overrides={"topology.size": 120,
+                                      "workload.lookups": 30})
+        assert onehop.metric("median_latency_s") < kad.metric("median_latency_s")
+        assert onehop.metric("routing_staleness") < 0.01
+        assert onehop.metric("membership_state_mb") == pytest.approx(2.0)
+
+    def test_gnutella_churn_scales_sharing_availability(self):
+        trims = {"topology.size": 200, "workload.lookups": 40}
+        stable = run_scenario("gnutella-search", overrides=trims)
+        churned = run_scenario("gnutella-search",
+                               overrides={**trims, "churn": "bittorrent"})
+        assert stable.metric("sharing_availability") == 1.0
+        assert churned.metric("sharing_availability") == pytest.approx(0.5)
+        assert stable.metric("recall") >= churned.metric("recall")
+        assert stable.metric("messages_per_lookup") > 10.0
+
+    def test_gnutella_total_failure_omits_latency_metrics(self):
+        # With no object replicas placed, every query fails; latency must be
+        # absent (not 0.0), so comparison tables render "-" instead of
+        # ranking total failure as instant success.
+        result = run_scenario(
+            "gnutella-search",
+            overrides={"topology.size": 100, "workload.lookups": 20,
+                       "architecture.replicas_per_object": 0})
+        assert result.metric("failure_rate") == 1.0
+        assert "median_latency_s" not in result.metrics
+        assert "mean_latency_s" not in result.metrics
+
+
 class TestCli:
     def test_list(self, capsys):
         assert run_main(["--list"]) == 0
