@@ -20,8 +20,9 @@ experiments:
 	PYTHONPATH=src $(PY) -m repro.analysis.experiments
 
 # Fast end-to-end smoke of the scenario runner: one trimmed scenario per
-# architecture family plus the trimmed figure1 cross-family study,
-# deterministic JSON to stdout.
+# architecture family plus the trimmed figure1 cross-family study — once
+# serially and once on the --jobs 2 process-pool backend (the two JSON
+# documents are byte-identical by construction; CI sees both paths).
 smoke:
 	PYTHONPATH=src $(PY) -m repro.run pow-baseline --set architecture.duration_blocks=20 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run pbft-consortium --set duration=1.0 --quiet --json -
@@ -29,6 +30,10 @@ smoke:
 	PYTHONPATH=src $(PY) -m repro.run kad-lookup --set workload.lookups=20 --set topology.size=150 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run edge-placement --set workload.requests=200 --quiet --json -
 	PYTHONPATH=src $(PY) -m repro.run study figure1 --quiet --json - \
+	  --set bitcoin.architecture.duration_blocks=20 \
+	  --set ethereum.architecture.duration_blocks=60 \
+	  --set pbft.duration=1.0 --set fabric.duration=1.0 --set edge.duration=1.0
+	PYTHONPATH=src $(PY) -m repro.run study figure1 --quiet --json - --jobs 2 \
 	  --set bitcoin.architecture.duration_blocks=20 \
 	  --set ethereum.architecture.duration_blocks=60 \
 	  --set pbft.duration=1.0 --set fabric.duration=1.0 --set edge.duration=1.0

@@ -1,7 +1,9 @@
 """Perf-trajectory runner for the simulation core.
 
-Measures the core microbenchmarks (see :mod:`benchmarks.perf_core`) and
-maintains ``BENCH_core.json`` at the repository root:
+Measures the core microbenchmarks (see :mod:`benchmarks.perf_core`) plus
+the execution-layer sweep workload (serial vs ``--jobs 4`` process-pool
+wall clock over a 4-point scenario sweep) and maintains
+``BENCH_core.json`` at the repository root:
 
 ``python -m benchmarks.perf_report``
     Measure and compare against the committed baseline.  Exits non-zero if
@@ -59,17 +61,66 @@ WORKLOAD_NOTES = {
         "End-to-end PoWNetwork, 8 miners, 150 main-chain blocks, seed 0; "
         "best of 5"
     ),
+    "sweep_points_per_sec_serial": (
+        "Execution layer: 4-point pos-nothing-at-stake sweep (1.5M rounds "
+        "per point) on the SerialBackend, points per wall-clock second"
+    ),
+    "sweep_points_per_sec_jobs4": (
+        "Same 4-point sweep on ProcessPoolBackend(4) (repro-run --jobs 4); "
+        "output is byte-identical to serial, only wall clock differs"
+    ),
+    "sweep_parallel_speedup_x4": (
+        "Serial over --jobs 4 wall clock for the sweep workload; bounded "
+        "by host core count (a 1-core host shows <1.0)"
+    ),
 }
+
+#: The execution-layer sweep workload: CPU-bound, deterministic, 4 points
+#: of roughly half a second each, so pool startup is amortised and a
+#: 4-core host shows close to 4x.
+SWEEP_POINTS = [0.25, 0.5, 0.75, 1.0]
+SWEEP_ROUNDS = 1_500_000
+
+
+def _sweep_spec():
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario("pos-nothing-at-stake")
+    spec.architecture["rounds"] = SWEEP_ROUNDS
+    spec.sweeps = {"architecture.multi_vote_fraction": SWEEP_POINTS}
+    return spec
+
+
+def sweep_rates(jobs: int = 4) -> Dict[str, float]:
+    """Wall-clock rates of the sweep workload, serial vs a process pool."""
+    import time
+
+    from repro.scenarios import ProcessPoolBackend, SerialBackend, run_sweep
+
+    timings = {}
+    for key, backend in (("serial", SerialBackend()),
+                         (f"jobs{jobs}", ProcessPoolBackend(jobs))):
+        start = time.perf_counter()
+        results = run_sweep(_sweep_spec(), backend=backend)
+        timings[key] = time.perf_counter() - start
+        assert len(results) == len(SWEEP_POINTS)
+    return {
+        "sweep_points_per_sec_serial": len(SWEEP_POINTS) / timings["serial"],
+        f"sweep_points_per_sec_jobs{jobs}": len(SWEEP_POINTS) / timings[f"jobs{jobs}"],
+        f"sweep_parallel_speedup_x{jobs}": timings["serial"] / timings[f"jobs{jobs}"],
+    }
 
 
 def measure() -> Dict[str, float]:
     """Run every core workload and return work-units-per-second rates."""
-    return {
+    results = {
         "engine_events_per_sec": rate(engine_events, repeats=5),
         "engine_waiters_per_sec": rate(engine_waiters, repeats=3),
         "network_messages_per_sec": rate(network_messages, repeats=3),
         "pow_blocks_per_sec": rate(pow_blocks, repeats=5, blocks=150),
     }
+    results.update(sweep_rates())
+    return results
 
 
 def load_baseline() -> Dict:
@@ -110,7 +161,8 @@ def write(results: Dict[str, float], baseline: Dict) -> None:
         "updated": date.today().isoformat(),
         "python": platform.python_version(),
         "seed_baseline": baseline.get("seed_baseline", {}),
-        "results": {key: round(value, 1) for key, value in results.items()},
+        "results": {key: round(value, 1 if value >= 100 else 4)
+                    for key, value in results.items()},
         "workloads": WORKLOAD_NOTES,
     }
     seed = document["seed_baseline"]

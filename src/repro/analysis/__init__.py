@@ -1,6 +1,7 @@
 """Statistics and reporting helpers shared by experiments and benchmarks."""
 
 from repro.analysis.resultset import ResultSet
+from repro.analysis.runstore import RunRecord, RunStore
 from repro.analysis.stats import (
     bootstrap_ci,
     cdf_points,
@@ -24,4 +25,6 @@ __all__ = [
     "stdev",
     "ResultSet",
     "ResultTable",
+    "RunRecord",
+    "RunStore",
 ]

@@ -1,0 +1,241 @@
+"""RunStore — named, content-addressed persistence of ResultSets.
+
+The scenario framework produces deterministic
+:class:`~repro.analysis.resultset.ResultSet` JSON; this module gives it a
+place to live so studies can be tracked longitudinally and interrupted
+grids can resume.  A store is a plain directory (``runs/`` by default,
+overridable with ``--runs-dir`` or ``$REPRO_RUNS_DIR``)::
+
+    runs/
+      objects/<sha256 of payload>.json   # ResultSet JSON, content-addressed
+      named/<name>.json                  # name -> object pointer + metadata
+      units/<job key>.json               # finished unit-job metrics (resume)
+
+``save`` writes the ResultSet object once per distinct content (re-saving
+identical results under a new name just adds a pointer) and ``load``
+verifies the content hash on the way back in, so a corrupted object fails
+loudly instead of feeding a comparison silently.  The ``units/`` tier is
+the resume cache of the execution layer: every finished
+:class:`~repro.scenarios.execution.UnitJob` is recorded under its
+spec-hash key, and re-running a plan skips the jobs already present.
+
+Usage::
+
+    from repro.analysis.runstore import RunStore
+    from repro.scenarios import run_study
+
+    store = RunStore()                          # ./runs
+    results = run_study("figure1", store=store) # unit jobs cached as they finish
+    store.save(results, "figure1-nightly")
+    again = store.load("figure1-nightly")       # identical ResultSet
+    for record in store.list():
+        print(record.name, record.results, record.object_hash)
+
+The same store drives the CLI: ``repro-run study figure1 --save demo``,
+``repro-run ls``, ``repro-run show demo``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.analysis.resultset import ResultSet
+
+#: Schema tag written into every named record.
+SCHEMA = "runstore/v1"
+
+#: Environment override for the default store directory.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: Run names become file names; keep them portable.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def default_runs_dir() -> Path:
+    """``$REPRO_RUNS_DIR`` when set, else ``./runs``."""
+    return Path(os.environ.get(RUNS_DIR_ENV) or "runs")
+
+
+def _sha256(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunRecord:
+    """Metadata of one named, saved run."""
+
+    name: str
+    object_hash: str
+    results: int
+    labels: List[str]
+    resultset_name: str
+    saved_at: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "object": self.object_hash,
+            "results": self.results,
+            "labels": list(self.labels),
+            "resultset_name": self.resultset_name,
+            "saved_at": self.saved_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        return cls(
+            name=str(data["name"]),
+            object_hash=str(data["object"]),
+            results=int(data.get("results", 0)),
+            labels=[str(label) for label in data.get("labels", [])],
+            resultset_name=str(data.get("resultset_name", "")),
+            saved_at=str(data.get("saved_at", "")),
+        )
+
+
+class RunStore:
+    """A directory of saved ResultSets plus the unit-job resume cache."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_runs_dir()
+
+    # -- layout --------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def named_dir(self) -> Path:
+        return self.root / "named"
+
+    @property
+    def units_dir(self) -> Path:
+        return self.root / "units"
+
+    def _named_path(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid run name {name!r}; use letters, digits, '.', '_', '-'"
+            )
+        return self.named_dir / f"{name}.json"
+
+    # -- named runs ----------------------------------------------------
+    def save(self, results: ResultSet, name: str) -> RunRecord:
+        """Persist a ResultSet under a name; returns the written record.
+
+        The object file is content-addressed, so saving byte-identical
+        results twice stores one object with two pointers.
+        """
+        path = self._named_path(name)
+        payload = results.to_json()
+        object_hash = _sha256(payload)
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        object_path = self.objects_dir / f"{object_hash}.json"
+        if not object_path.exists():
+            object_path.write_text(payload + "\n", encoding="utf-8")
+        record = RunRecord(
+            name=name,
+            object_hash=object_hash,
+            results=len(results),
+            labels=results.labels(),
+            resultset_name=results.name,
+            saved_at=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        )
+        self.named_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return record
+
+    def record(self, name: str) -> RunRecord:
+        """The metadata record of a named run."""
+        path = self._named_path(name)
+        if not path.exists():
+            known = ", ".join(record.name for record in self.list()) or "(none)"
+            raise KeyError(
+                f"no saved run {name!r} in {self.root}; saved runs: {known}"
+            )
+        return RunRecord.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    def load(self, name: str) -> ResultSet:
+        """Reload a named ResultSet, verifying its content hash."""
+        record = self.record(name)
+        object_path = self.objects_dir / f"{record.object_hash}.json"
+        if not object_path.exists():
+            raise KeyError(
+                f"run {name!r} points at missing object {record.object_hash}"
+            )
+        payload = object_path.read_text(encoding="utf-8").rstrip("\n")
+        if _sha256(payload) != record.object_hash:
+            raise ValueError(
+                f"run {name!r}: object {record.object_hash} failed its "
+                f"content-hash check (corrupted store?)"
+            )
+        return ResultSet.from_json(payload)
+
+    def list(self) -> List[RunRecord]:
+        """All named runs, sorted by name."""
+        if not self.named_dir.is_dir():
+            return []
+        records = []
+        for path in sorted(self.named_dir.glob("*.json")):
+            records.append(RunRecord.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))))
+        return records
+
+    def delete(self, name: str) -> None:
+        """Remove a named pointer (objects are kept: content-addressed)."""
+        path = self._named_path(name)
+        if not path.exists():
+            raise KeyError(f"no saved run {name!r} in {self.root}")
+        path.unlink()
+
+    # -- unit-job resume cache -----------------------------------------
+    def get_unit(self, key: str) -> Optional[Dict[str, float]]:
+        """The cached metrics of a finished unit job, if present.
+
+        An unreadable or torn cache file (interrupted write, full disk) is
+        treated as a miss — the job is simply recomputed — never an error.
+        """
+        path = self.units_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return {name: float(value) for name, value in data["metrics"].items()}
+        except (ValueError, KeyError, TypeError, AttributeError, OSError):
+            return None
+
+    def put_unit(self, key: str, metrics: Dict[str, float]) -> None:
+        """Record one finished unit job for future resume.
+
+        Written via a temp file + atomic rename so a kill mid-write leaves
+        either the old state or the complete new file, never a torn one.
+        """
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "metrics": dict(sorted(metrics.items()))}
+        path = self.units_dir / f"{key}.json"
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(temp, path)
+
+    def completed_units(self, keys: Iterable[str]) -> Dict[str, Dict[str, float]]:
+        """The subset of ``keys`` already cached, with their metrics."""
+        completed: Dict[str, Dict[str, float]] = {}
+        for key in keys:
+            metrics = self.get_unit(key)
+            if metrics is not None:
+                completed[key] = metrics
+        return completed

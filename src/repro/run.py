@@ -4,9 +4,9 @@
 
     python -m repro.run --list
     python -m repro.run pow-baseline
-    python -m repro.run pow-baseline --json -
+    python -m repro.run run pow-baseline --json -
     python -m repro.run kad-lookup --set topology.size=800 --seed 9 --replicates 3
-    python -m repro.run pbft-consortium --sweep "architecture.replicas=4,7,13"
+    python -m repro.run sweep pbft-consortium --sweep "architecture.replicas=4,7,13"
     python -m repro.run churn-ladder --json results.json
 
     python -m repro.run --list-studies
@@ -14,13 +14,34 @@
     python -m repro.run study figure1 --members bitcoin,fabric
     python -m repro.run study figure1 --set bitcoin.architecture.duration_blocks=20
 
-Installed as the ``repro-run`` console script.  ``--set``/``--sweep``
-values are parsed as JSON where possible (``none`` → null), so
-``--set churn=none`` and ``--set 'churn={"mean_session": 600}'`` both work.
-For studies, ``--set`` takes ``MEMBER.PATH=VALUE`` where ``MEMBER`` is a
-member label from ``--list-studies`` (or ``*`` for every member).
-Output at a fixed seed is deterministic: two runs of the same command
-produce byte-identical JSON.
+    # Execution backends and the run store
+    python -m repro.run study figure1 --replicates 3 --jobs 4 --progress
+    python -m repro.run study figure1 --save fig1-nightly
+    python -m repro.run ls
+    python -m repro.run show fig1-nightly
+
+Installed as the ``repro-run`` console script.  The first argument is a
+subcommand (``run``, ``sweep``, ``study``, ``ls``, ``show``) or — for
+backwards compatibility — a bare registered scenario name.  ``run NAME``
+executes the base configuration only (registered sweep axes are dropped;
+explicit ``--sweep`` flags still apply); ``sweep NAME`` and the bare-name
+form expand the scenario's declared variants/sweeps into one result per
+point.
+
+``--jobs N`` fans the plan's unit jobs out over N worker processes; the
+output is byte-identical to the serial run at the same seed (results merge
+by content-addressed job key, not completion order).  ``--save NAME``
+persists the ResultSet into the run store (``runs/`` by default;
+``--runs-dir``/``$REPRO_RUNS_DIR`` override) and enables spec-hash-based
+resume: unit jobs already recorded in the store are skipped on re-run.
+``repro-run ls`` lists saved runs and ``repro-run show NAME`` reloads one.
+
+``--set``/``--sweep`` values are parsed as JSON where possible (``none`` →
+null), so ``--set churn=none`` and ``--set 'churn={"mean_session": 600}'``
+both work.  For studies, ``--set`` takes ``MEMBER.PATH=VALUE`` where
+``MEMBER`` is a member label from ``--list-studies`` (or ``*`` for every
+member).  Output at a fixed seed is deterministic: two runs of the same
+command produce byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -30,6 +51,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.analysis.runstore import RunStore
 from repro.analysis.tables import ResultTable
 from repro.scenarios import (
     SCENARIOS,
@@ -42,6 +64,21 @@ from repro.scenarios import (
     scenario_names,
     study_names,
 )
+
+#: First positional arguments that are commands rather than scenario names.
+COMMANDS = ("run", "sweep", "study", "ls", "show")
+
+EPILOG = """\
+examples:
+  repro-run pow-baseline                         run one scenario
+  repro-run run selfish-mining                   base configuration, sweeps dropped
+  repro-run run kad-lookup --set topology.size=800 --replicates 3
+  repro-run sweep bft-committee-sweep --jobs 4   fan the sweep out over 4 processes
+  repro-run study figure1 --json - --replicates 3 --jobs 4
+  repro-run study figure1 --save fig1-nightly    persist + resume via the run store
+  repro-run ls                                   list saved runs
+  repro-run show fig1-nightly                    reload a saved run
+"""
 
 
 def _parse_value(text: str):
@@ -97,12 +134,79 @@ def _emit_json(payload: str, destination: str, quiet: bool) -> None:
             print(f"\nwrote {destination}")
 
 
+def _store_for(args, required: bool = False) -> Optional[RunStore]:
+    """The run store, when the invocation needs one.
+
+    ``--save`` (and the ``ls``/``show`` commands, via ``required``) open the
+    store; a bare ``--runs-dir`` alone does not trigger persistence.
+    """
+    if required or args.save:
+        return RunStore(args.runs_dir)
+    return None
+
+
+def _save_results(store: Optional[RunStore], results, args) -> None:
+    if store is None or not args.save:
+        return
+    record = store.save(results, args.save)
+    if not args.quiet:
+        print(f"\nsaved run {record.name!r} "
+              f"({record.results} results, object {record.object_hash[:12]}) "
+              f"under {store.root}")
+
+
+def _print_resultset(results, compare_metrics=None, title=None) -> None:
+    for result in results:
+        print()
+        print(result.table().render())
+    if len(results) > 1 or compare_metrics:
+        print()
+        print(results.to_table(metrics=compare_metrics or None,
+                               title=title).render())
+
+
+def _run_ls_command(args) -> int:
+    store = _store_for(args, required=True)
+    records = store.list()
+    if not records:
+        print(f"no saved runs under {store.root} "
+              f"(save one with: repro-run study figure1 --save NAME)")
+        return 0
+    table = ResultTable(["name", "results", "labels", "saved at", "object"],
+                        title=f"Saved runs in {store.root} (repro-run show <name>)")
+    for record in records:
+        labels = ", ".join(record.labels[:4])
+        if len(record.labels) > 4:
+            labels += f", ... ({len(record.labels)})"
+        table.add_row(record.name, record.results, labels,
+                      record.saved_at, record.object_hash[:12])
+    print(table.render())
+    return 0
+
+
+def _run_show_command(args) -> int:
+    if not args.name:
+        raise SystemExit("show expects a saved run name (see: repro-run ls)")
+    store = _store_for(args, required=True)
+    try:
+        results = store.load(args.name)
+    except (KeyError, ValueError) as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if not args.quiet:
+        _print_resultset(results, title=f"saved run {args.name}: "
+                                        f"{results.name or 'result set'}")
+    if args.json_out:
+        _emit_json(results.to_json(), args.json_out, args.quiet)
+    return 0
+
+
 def _run_study_command(args) -> int:
-    if not args.study_name:
+    if not args.name:
         _list_studies()
         return 2
     try:
-        study = get_study(args.study_name)
+        study = get_study(args.name)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
@@ -127,26 +231,64 @@ def _run_study_command(args) -> int:
 
     members = [label.strip() for label in args.members.split(",")] \
         if args.members else None
+    store = _store_for(args)
     try:
         results = run_study(study, seed=args.seed, replicates=args.replicates,
-                            members=members, member_overrides=member_overrides)
+                            members=members, member_overrides=member_overrides,
+                            backend=args.jobs, store=store,
+                            progress=args.progress)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
 
     if not args.quiet:
+        _print_resultset(results, compare_metrics=study.compare_metrics,
+                         title=f"study {study.name}: {study.description}")
+    _save_results(store, results, args)
+    if args.json_out:
+        _emit_json(results.to_json(), args.json_out, args.quiet)
+    return 0
+
+
+def _run_scenario_command(args, name: str, base_only: bool = False) -> int:
+    if args.members:
+        raise SystemExit("--members applies to studies (repro-run study <name>)")
+    try:
+        spec = get_scenario(name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    if base_only:
+        # `repro-run run NAME`: the base configuration only — registered
+        # expansion axes are dropped (explicit --sweep flags still apply).
+        spec.sweeps = {}
+        spec.variants = {}
+    overrides: Dict[str, object] = {}
+    for assignment in args.overrides:
+        path, value = _parse_assignment(assignment, "--set")
+        overrides[path] = _parse_value(value)
+    for assignment in args.sweeps:
+        path, values = _parse_assignment(assignment, "--sweep")
+        spec.sweeps[path] = [_parse_value(value) for value in values.split(",")]
+
+    store = _store_for(args)
+    results = run_sweep(spec, overrides=overrides, seed=args.seed,
+                        replicates=args.replicates, backend=args.jobs,
+                        store=store, progress=args.progress)
+
+    if not args.quiet:
         for result in results:
             print()
             print(result.table().render())
-        print()
-        comparison = results.to_table(
-            metrics=study.compare_metrics or None,
-            title=f"study {study.name}: {study.description}",
-        )
-        print(comparison.render())
+    _save_results(store, results, args)
 
     if args.json_out:
-        _emit_json(results.to_json(), args.json_out, args.quiet)
+        if len(results) == 1:
+            payload = results[0].to_json()
+        else:
+            payload = results_to_json(results.results)
+        _emit_json(payload, args.json_out, args.quiet)
     return 0
 
 
@@ -154,11 +296,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-run",
         description="Run a named scenario (or study) through the architecture adapters.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("scenario", nargs="?",
-                        help="registered scenario name, or the literal 'study'")
-    parser.add_argument("study_name", nargs="?", metavar="STUDY",
-                        help="study name (only after the 'study' subcommand)")
+    parser.add_argument("command", nargs="?", metavar="COMMAND",
+                        help="run (base config) | sweep (expand axes) | "
+                             "study | ls | show, or a bare registered "
+                             "scenario name (implies 'sweep')")
+    parser.add_argument("name", nargs="?", metavar="NAME",
+                        help="scenario name (run/sweep), study name (study) "
+                             "or saved run name (show)")
     parser.add_argument("--list", action="store_true", help="list registered scenarios")
     parser.add_argument("--list-studies", action="store_true",
                         help="list registered cross-family studies")
@@ -174,6 +321,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="add a sweep axis over comma-separated values (repeatable)")
     parser.add_argument("--members", metavar="L1,L2,...",
                         help="run only these members of a study")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="execute unit jobs on a process pool of N workers "
+                             "(default: serial; output is byte-identical)")
+    parser.add_argument("--save", metavar="NAME",
+                        help="persist the ResultSet under NAME in the run "
+                             "store and resume finished unit jobs from it")
+    parser.add_argument("--runs-dir", metavar="PATH", default=None,
+                        help="run-store directory (default: ./runs or "
+                             "$REPRO_RUNS_DIR)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one stderr line per finished unit job")
     parser.add_argument("--json", dest="json_out", metavar="PATH",
                         help="write the result JSON to PATH ('-' for stdout)")
     parser.add_argument("--quiet", action="store_true",
@@ -183,49 +341,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_studies:
         _list_studies()
         return 0
-    if args.list or not args.scenario:
+    if args.list or not args.command:
         _list_scenarios()
         return 0 if args.list else 2
 
-    if args.scenario == "study":
-        return _run_study_command(args)
-    if args.study_name:
+    if args.command in COMMANDS:
+        if args.command == "ls":
+            return _run_ls_command(args)
+        if args.command == "show":
+            return _run_show_command(args)
+        if args.command == "study":
+            return _run_study_command(args)
+        # run (base configuration only) / sweep (expand registered axes).
+        if not args.name:
+            raise SystemExit(f"{args.command} expects a registered scenario "
+                             f"name (see: repro-run --list)")
+        return _run_scenario_command(args, args.name,
+                                     base_only=args.command == "run")
+
+    # Legacy spelling: a bare scenario name expands its registered
+    # sweeps/variants, like `sweep <name>` always did.
+    if args.name:
         raise SystemExit(
-            f"unexpected extra argument {args.study_name!r}; did you mean "
-            f"'study {args.scenario}'?"
+            f"unexpected extra argument {args.name!r}; did you mean "
+            f"'study {args.command}'?"
         )
-    if args.members:
-        raise SystemExit("--members applies to studies (repro-run study <name>)")
-
-    try:
-        spec = get_scenario(args.scenario)
-    except KeyError as error:
-        print(error.args[0], file=sys.stderr)
-        return 2
-
-    overrides: Dict[str, object] = {}
-    for assignment in args.overrides:
-        path, value = _parse_assignment(assignment, "--set")
-        overrides[path] = _parse_value(value)
-    for assignment in args.sweeps:
-        path, values = _parse_assignment(assignment, "--sweep")
-        spec.sweeps[path] = [_parse_value(value) for value in values.split(",")]
-
-    results = run_sweep(spec, overrides=overrides, seed=args.seed,
-                        replicates=args.replicates)
-
-    if not args.quiet:
-        for result in results:
-            print()
-            print(result.table().render())
-
-    if args.json_out:
-        if len(results) == 1:
-            payload = results[0].to_json()
-        else:
-            payload = results_to_json(results.results)
-        _emit_json(payload, args.json_out, args.quiet)
-    return 0
+    return _run_scenario_command(args, args.command)
 
 
 if __name__ == "__main__":

@@ -52,19 +52,57 @@ comparisons are first-class *studies*::
     print(points.pivot(rows="architecture.replicas", cols="family",
                        metric="throughput_tps").render())
 
+Execution is an explicit, pluggable layer: every entry point *compiles*
+its specs into an :class:`ExecutionPlan` of independent, seed-pinned unit
+jobs (one per member x variant/sweep point x replicate, each with a
+content-addressed key from :meth:`ScenarioSpec.spec_hash`) and runs it on
+an :class:`ExecutionBackend` — :class:`SerialBackend` by default, or
+:class:`ProcessPoolBackend` to fan out over worker processes with output
+byte-identical to the serial run::
+
+    results = run_study("figure1", replicates=3, backend=4)   # --jobs 4
+
+    plan = compile_study("figure1", replicates=3)             # pure data
+    print(len(plan.jobs), "unit jobs")
+    results = execute_plan(plan, backend=ProcessPoolBackend(4))
+
+ResultSets persist in a :class:`~repro.analysis.runstore.RunStore`
+(named, content-addressed, under ``runs/``), which also caches finished
+unit jobs so interrupted or re-run grids resume instead of recomputing::
+
+    store = RunStore()
+    results = run_study("figure1", store=store)   # unit jobs cached
+    store.save(results, "fig1-nightly")
+    again = store.load("fig1-nightly")            # identical ResultSet
+
 The same registry drives the command line (installed as ``repro-run``)::
 
     python -m repro.run --list
     python -m repro.run --list-studies
     python -m repro.run pow-baseline --json -
     python -m repro.run kad-lookup --set topology.size=800 --sweep "churn=kad,aggressive"
-    python -m repro.run study figure1 --json - --replicates 3
+    python -m repro.run study figure1 --json - --replicates 3 --jobs 4
+    python -m repro.run study figure1 --save fig1-nightly
+    python -m repro.run ls
+    python -m repro.run show fig1-nightly
 
 Scenario and study results at a fixed seed are fully deterministic: two
-runs of the same spec produce byte-identical ``to_json()`` output.
+runs of the same spec produce byte-identical ``to_json()`` output, on
+every backend at any ``--jobs`` width.
 """
 
 from repro.analysis.resultset import ResultSet
+from repro.analysis.runstore import RunRecord, RunStore
+from repro.scenarios.execution import (
+    ExecutionBackend,
+    ExecutionPlan,
+    ProcessPoolBackend,
+    ResultSlot,
+    SerialBackend,
+    UnitJob,
+    backend_for,
+    execute_plan,
+)
 from repro.scenarios.adapters import (
     ADAPTERS,
     ArchitectureAdapter,
@@ -77,12 +115,20 @@ from repro.scenarios.adapters import (
 )
 from repro.scenarios.registry import SCENARIOS, get_scenario, register, scenario_names
 from repro.scenarios.result import ReplicateResult, ScenarioResult, results_to_json
-from repro.scenarios.runner import resolve_spec, run_scenario, run_sweep, sweep_metrics
+from repro.scenarios.runner import (
+    compile_scenario,
+    compile_sweep,
+    resolve_spec,
+    run_scenario,
+    run_sweep,
+    sweep_metrics,
+)
 from repro.scenarios.spec import FAMILIES, ScenarioSpec
 from repro.scenarios.study import (
     STUDIES,
     StudyMember,
     StudySpec,
+    compile_study,
     get_study,
     register_study,
     run_study,
@@ -94,19 +140,32 @@ __all__ = [
     "ArchitectureAdapter",
     "ConsensusAdapter",
     "EdgeAdapter",
+    "ExecutionBackend",
+    "ExecutionPlan",
     "FAMILIES",
     "OverlayAdapter",
     "PermissionedAdapter",
     "PermissionlessAdapter",
+    "ProcessPoolBackend",
     "ReplicateResult",
     "ResultSet",
+    "ResultSlot",
+    "RunRecord",
+    "RunStore",
     "SCENARIOS",
     "STUDIES",
     "ScenarioResult",
     "ScenarioSpec",
+    "SerialBackend",
     "StudyMember",
     "StudySpec",
+    "UnitJob",
     "adapter_for",
+    "backend_for",
+    "compile_scenario",
+    "compile_study",
+    "compile_sweep",
+    "execute_plan",
     "get_scenario",
     "get_study",
     "register",

@@ -100,12 +100,26 @@ class PermissionlessAdapter(ArchitectureAdapter):
     The two economics modes model the *decentralization* axis of the same
     open/permissionless ecosystems the PoW/PoS modes measure, which is why
     they live in this family.
+
+    Attack harness: ``architecture["attack"]`` switches the adapter to an
+    incentive/security attack model instead of a live network —
+
+    * ``"selfish"`` (E10): the Eyal–Sirer selfish-mining state machine of
+      :mod:`repro.blockchain.selfish` (``alpha``, ``gamma``, ``blocks``);
+      reports simulated and closed-form relative revenue.
+    * ``"double-spend"`` (E13): Nakamoto/Rosenfeld catch-up analysis of
+      :mod:`repro.blockchain.attacks` (``attacker_share``,
+      ``confirmations``, ``max_risk``); reports the attack success
+      probability and the confirmation count holding risk under
+      ``max_risk``.
     """
 
     family = "permissionless"
 
     def setup(self, spec: ScenarioSpec, seed: int):
         arch = dict(spec.architecture)
+        if "attack" in arch:
+            return self._setup_attack(str(arch.pop("attack")), arch, seed)
         consensus = str(arch.pop("consensus", "pow"))
         if consensus == "market":
             from repro.economics.market import MarketModel, MarketParams
@@ -172,6 +186,11 @@ class PermissionlessAdapter(ArchitectureAdapter):
         # duplicate-keyword TypeError.
         arch.pop("seed", None)
         rate = float(arch.pop("tx_arrival_rate", spec.workload.get("rate_tps", 10.0)))
+        if spec.topology.get("network") is not None:
+            from repro.sim.network import NetworkParams
+
+            arch["network_params"] = NetworkParams.from_spec(
+                spec.topology["network"])
         config = PoWNetworkConfig(
             protocol=protocol,
             tx_arrival_rate=rate,
@@ -180,15 +199,80 @@ class PermissionlessAdapter(ArchitectureAdapter):
         )
         return {"consensus": "pow", "network": PoWNetwork(config), "protocol": protocol}
 
+    def _setup_attack(self, attack: str, arch: Dict[str, object], seed: int):
+        if attack == "selfish":
+            return {
+                "consensus": "attack-selfish",
+                "alpha": float(arch.get("alpha", 1.0 / 3.0)),
+                "gamma": float(arch.get("gamma", 0.0)),
+                "blocks": int(arch.get("blocks", 100_000)),
+                "seed": seed,
+            }
+        if attack in ("double-spend", "double_spend"):
+            return {
+                "consensus": "attack-double-spend",
+                "attacker_share": float(arch.get("attacker_share", 0.3)),
+                "confirmations": int(arch.get("confirmations", 6)),
+                "max_risk": float(arch.get("max_risk", 0.001)),
+            }
+        raise ValueError(
+            f"unknown permissionless attack {attack!r}; pick 'selfish' "
+            f"(E10 selfish mining) or 'double-spend' (E13 catch-up analysis)"
+        )
+
     def run(self, context):
         if context["consensus"] == "market":
             return context["model"].run(steps=context["steps"],
                                         arrivals_per_step=context["arrivals"])
         if context["consensus"] in ("pos", "pools"):
             return context["model"].run()
+        if context["consensus"] == "attack-selfish":
+            from repro.blockchain.selfish import simulate_selfish_mining
+
+            return simulate_selfish_mining(
+                context["alpha"], context["gamma"],
+                blocks=context["blocks"], seed=context["seed"],
+            )
+        if context["consensus"] == "attack-double-spend":
+            from repro.blockchain.attacks import (
+                attacker_success_probability,
+                confirmations_for_risk,
+            )
+
+            share = context["attacker_share"]
+            return {
+                "success_probability": attacker_success_probability(
+                    share, context["confirmations"]),
+                "confirmations_for_max_risk": float(
+                    confirmations_for_risk(share, context["max_risk"])),
+            }
         return context["network"].run()
 
     def collect(self, context, outcome) -> Dict[str, float]:
+        if context["consensus"] == "attack-selfish":
+            from repro.blockchain.selfish import selfish_mining_revenue
+
+            metrics = {
+                "alpha": outcome.alpha,
+                "gamma": outcome.gamma,
+                "honest_revenue": outcome.alpha,
+                "simulated_revenue": outcome.relative_revenue,
+                "advantage": outcome.advantage,
+                "stale_rate": outcome.stale_rate,
+                "tie_races": float(outcome.tie_races),
+                "blocks_simulated": float(outcome.blocks_simulated),
+            }
+            if outcome.alpha < 0.5:
+                metrics["analytic_revenue"] = selfish_mining_revenue(
+                    outcome.alpha, outcome.gamma)
+            return metrics
+        if context["consensus"] == "attack-double-spend":
+            return {
+                "attacker_share": context["attacker_share"],
+                "confirmations": float(context["confirmations"]),
+                "max_risk": context["max_risk"],
+                **outcome,
+            }
         if context["consensus"] == "market":
             metrics = {key: float(value)
                        for key, value in outcome.concentration().items()}
@@ -385,16 +469,30 @@ class OverlayAdapter(ArchitectureAdapter):
       so all three substrates can run under the same churn trace.
 
     In every mode ``topology["size"]`` is the network size, ``workload``
-    carries ``lookups`` (and ``interval_s`` for the DHT), and ``churn``
-    follows :meth:`repro.sim.churn.ChurnModel.from_spec`.  All three modes
-    report comparable ``median/p90/mean_latency_s`` and ``failure_rate``
-    metrics so cross-substrate studies can pivot on them directly.
+    carries ``lookups`` (and ``interval_s`` for the DHT), ``churn``
+    follows :meth:`repro.sim.churn.ChurnModel.from_spec`, and (for the DHT
+    path) ``topology["network"]`` selects a
+    :meth:`repro.sim.network.NetworkParams.from_spec` latency/bandwidth
+    preset (``lan``/``wan``/``geo``) or field dict.  All three modes report
+    comparable ``median/p90/mean_latency_s`` and ``failure_rate`` metrics
+    so cross-substrate studies can pivot on them directly.
+
+    Attack harness: ``architecture["attack"]`` switches the adapter to the
+    Sybil/eclipse model of :mod:`repro.p2p.sybil` (E3) instead of a plain
+    lookup experiment — ``"sybil"`` spreads self-assigned identities
+    uniformly, ``"eclipse"`` clusters them around a target key
+    (``architecture["targeted_key"]``, or a seed-derived key when unset).
+    ``attacker_machines`` and ``identities_per_machine`` size the attack;
+    the overlay client preset and ``topology["size"]``/``workload`` keep
+    their plain-lookup meaning.
     """
 
     family = "overlay"
 
     def setup(self, spec: ScenarioSpec, seed: int):
         _expect_workload_kind(spec, ("lookup",), default="lookup")
+        if "attack" in spec.architecture:
+            return self._setup_attack(spec, seed)
         overlay = spec.architecture.get("overlay", "kad")
         if isinstance(overlay, str) and overlay in ("onehop", "one-hop"):
             return self._setup_onehop(spec, seed)
@@ -406,6 +504,7 @@ class OverlayAdapter(ArchitectureAdapter):
         from repro.p2p.kademlia import KademliaConfig
         from repro.p2p.lookup import LookupExperiment, LookupExperimentConfig
         from repro.sim.churn import ChurnModel
+        from repro.sim.network import NetworkParams
 
         client = KademliaConfig.by_name(spec.architecture.get("overlay", "kad"))
         overrides = spec.architecture.get("client_overrides") or {}
@@ -417,9 +516,39 @@ class OverlayAdapter(ArchitectureAdapter):
             lookup_interval=float(spec.workload.get("interval_s", 2.0)),
             kademlia=client,
             churn=ChurnModel.from_spec(spec.churn),
+            network_params=NetworkParams.from_spec(spec.topology.get("network")),
             seed=seed,
         )
         return {"mode": "kademlia", "experiment": LookupExperiment(config)}
+
+    def _setup_attack(self, spec: ScenarioSpec, seed: int):
+        from repro.p2p.identifiers import random_id
+        from repro.p2p.kademlia import KademliaConfig
+        from repro.p2p.sybil import SybilAttackConfig
+        from repro.sim.rng import SeededRNG
+
+        arch = spec.architecture
+        attack = str(arch.get("attack"))
+        if attack not in ("sybil", "eclipse"):
+            raise ValueError(
+                f"unknown overlay attack {attack!r}; pick 'sybil' (spread "
+                f"identities) or 'eclipse' (target one key)"
+            )
+        targeted_key = arch.get("targeted_key")
+        if attack == "eclipse" and targeted_key is None:
+            # A deterministic per-seed victim key, so replicates eclipse
+            # different regions of the identifier space.
+            targeted_key = random_id(SeededRNG(seed).fork("eclipse-target"))
+        config = SybilAttackConfig(
+            honest_nodes=int(spec.topology.get("size", 400)),
+            attacker_machines=int(arch.get("attacker_machines", 4)),
+            identities_per_machine=int(arch.get("identities_per_machine", 100)),
+            lookups=int(spec.workload.get("lookups", 150)),
+            targeted_key=targeted_key if targeted_key is None else int(targeted_key),
+            kademlia=KademliaConfig.by_name(arch.get("overlay", "kad")),
+            seed=seed,
+        )
+        return {"mode": "attack", "config": config}
 
     def _setup_onehop(self, spec: ScenarioSpec, seed: int):
         from repro.p2p.onehop import OneHopConfig, OneHopOverlay
@@ -470,11 +599,28 @@ class OverlayAdapter(ArchitectureAdapter):
             )
         if context["mode"] == "gnutella":
             return context["network"].run_queries(context["queries"])
+        if context["mode"] == "attack":
+            from repro.p2p.sybil import run_sybil_attack
+
+            return run_sybil_attack(context["config"])
         return context["experiment"].run()
 
     def collect(self, context, outcome) -> Dict[str, float]:
         from repro.analysis.stats import mean, percentile
 
+        if context["mode"] == "attack":
+            return {
+                "honest_nodes": float(outcome.honest_nodes),
+                "sybil_identities": float(outcome.sybil_identities),
+                "attacker_machines": float(outcome.attacker_machines),
+                "identity_share": outcome.identity_share,
+                "physical_share": outcome.physical_share,
+                "hijack_rate": outcome.hijack_rate,
+                "amplification": outcome.amplification,
+                "hijacked_lookups": float(outcome.hijacked_lookups),
+                "total_lookups": float(outcome.total_lookups),
+                "mean_sybils_in_result": outcome.mean_sybils_in_result,
+            }
         if context["mode"] == "onehop":
             overlay = context["overlay"]
             config = overlay.config

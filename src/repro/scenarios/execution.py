@@ -1,0 +1,325 @@
+"""The execution layer: plans of unit jobs run by pluggable backends.
+
+``run_scenario``/``run_sweep``/``run_study`` no longer execute anything
+directly.  They *compile* their specs into an :class:`ExecutionPlan` — a
+flat list of independent, seed-pinned :class:`UnitJob` entries (one per
+member x variant/sweep point x replicate), grouped into the
+:class:`ResultSlot` s that will become
+:class:`~repro.scenarios.result.ScenarioResult` objects — and hand the plan
+to an :class:`ExecutionBackend`:
+
+* :class:`SerialBackend` (the default) runs jobs in plan order in-process
+  and is byte-identical to the historical single-process runner;
+* :class:`ProcessPoolBackend` fans jobs out over a ``multiprocessing``
+  pool (``repro-run --jobs N``) and merges by job key, so its output is
+  byte-identical to the serial backend no matter which worker finishes
+  first.
+
+Every job carries a stable content-addressed key derived from
+:meth:`ScenarioSpec.spec_hash` of its canonical unit spec (the concrete
+point spec pinned to the replicate's seed, ``replicates`` normalised to 1).
+Identical computations therefore share a key across scenarios, studies and
+processes, which gives three properties for free:
+
+* deduplication — a plan never runs the same (spec, seed) twice;
+* deterministic merge — results are joined by key, not arrival order;
+* resume — a :class:`~repro.analysis.runstore.RunStore` can persist
+  finished unit jobs and skip them on re-run.
+
+Adapters are pure functions of ``(spec, seed)`` (all randomness flows from
+:class:`~repro.sim.rng.SeededRNG`), which is what makes the fan-out safe:
+a unit job computes the same metrics in any process, on any backend.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.resultset import ResultSet
+from repro.scenarios.adapters import adapter_for
+from repro.scenarios.result import ReplicateResult, ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+#: Progress callback: ``(completed_jobs, total_jobs, job)``; ``job`` is
+#: ``None`` for the final "plan done" tick.
+ProgressCallback = Callable[[int, int, Optional["UnitJob"]], None]
+
+
+def unit_spec(spec: ScenarioSpec, seed: int) -> ScenarioSpec:
+    """The canonical spec of one unit job.
+
+    A copy of the concrete point spec pinned to the replicate ``seed`` with
+    ``replicates`` normalised to 1 and expansion axes cleared, so the job's
+    identity is exactly "this configuration at this seed".
+    """
+    unit = spec.copy()
+    unit.seed = seed
+    unit.replicates = 1
+    unit.sweeps = {}
+    unit.variants = {}
+    return unit
+
+
+@dataclass(frozen=True)
+class UnitJob:
+    """One independent, seed-pinned run of an adapter.
+
+    ``key`` is content-addressed (:func:`unit_spec` hash plus the seed for
+    readability); ``spec`` is the canonical unit spec the key was derived
+    from.
+    """
+
+    key: str
+    spec: ScenarioSpec
+    seed: int
+
+    @classmethod
+    def for_spec(cls, spec: ScenarioSpec, seed: int) -> "UnitJob":
+        unit = unit_spec(spec, seed)
+        return cls(key=f"{unit.spec_hash()}-s{seed}", spec=unit, seed=seed)
+
+
+@dataclass
+class ResultSlot:
+    """One :class:`ScenarioResult` to assemble: a spec plus its unit jobs."""
+
+    scenario: str
+    family: str
+    label: str
+    spec: ScenarioSpec
+    jobs: List[UnitJob] = field(default_factory=list)
+
+    @classmethod
+    def for_point(cls, spec: ScenarioSpec, label: str = "") -> "ResultSlot":
+        """The slot of one fully-expanded point: one job per replicate."""
+        return cls(
+            scenario=spec.name,
+            family=spec.family,
+            label=label,
+            spec=spec,
+            jobs=[UnitJob.for_spec(spec, spec.seed + index)
+                  for index in range(spec.replicates)],
+        )
+
+    def assemble(self, metrics_by_key: Mapping[str, Dict[str, float]]) -> ScenarioResult:
+        """Build the ScenarioResult once every job's metrics are known."""
+        return ScenarioResult(
+            scenario=self.scenario,
+            family=self.family,
+            label=self.label,
+            spec=self.spec.to_dict(),
+            replicates=[ReplicateResult(seed=job.seed,
+                                        metrics=dict(metrics_by_key[job.key]))
+                        for job in self.jobs],
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered set of result slots plus the deduplicated job list.
+
+    The plan is pure data: compiling one is free of side effects, so a
+    plan can be inspected (``plan.jobs``, ``len(plan)``), costed, cached
+    against a RunStore, or shipped to worker processes before anything
+    runs.
+    """
+
+    slots: List[ResultSlot] = field(default_factory=list)
+    name: str = ""
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def jobs(self) -> List[UnitJob]:
+        """Every distinct unit job, in first-appearance (plan) order."""
+        seen: Dict[str, UnitJob] = {}
+        for slot in self.slots:
+            for job in slot.jobs:
+                seen.setdefault(job.key, job)
+        return list(seen.values())
+
+    def job_keys(self) -> List[str]:
+        """The distinct job keys, in plan order."""
+        return [job.key for job in self.jobs]
+
+    def assemble(self, metrics_by_key: Mapping[str, Dict[str, float]]) -> ResultSet:
+        """Join executed metrics back into an ordered ResultSet."""
+        missing = [job.key for job in self.jobs if job.key not in metrics_by_key]
+        if missing:
+            raise KeyError(f"plan is missing metrics for unit jobs {missing}")
+        return ResultSet(
+            [slot.assemble(metrics_by_key) for slot in self.slots],
+            name=self.name,
+            description=self.description,
+        )
+
+
+# ----------------------------------------------------------------------
+# Unit execution (shared by every backend; module-level for pickling)
+# ----------------------------------------------------------------------
+def execute_unit(job: UnitJob) -> Dict[str, float]:
+    """Run one unit job in the current process."""
+    return adapter_for(job.spec.family).run_replicate(job.spec, job.seed)
+
+
+def _pool_execute(payload: Tuple[str, Dict[str, object], int]):
+    """Worker-side entry point: rebuild the spec from plain data and run it."""
+    key, spec_dict, seed = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return key, adapter_for(spec.family).run_replicate(spec, seed)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """Executes the jobs of a plan into a ``{job key: metrics}`` mapping.
+
+    ``completed`` maps already-known job keys to their metrics (RunStore
+    resume); backends must skip those jobs and must not include them in the
+    returned mapping.  ``progress`` is invoked after every finished job
+    (cached jobs count as finished immediately).  ``on_result`` is invoked
+    with ``(key, metrics)`` the moment each job finishes — this is how
+    :func:`execute_plan` persists units incrementally, so an interrupted
+    run keeps everything completed so far.
+    """
+
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        completed: Optional[Mapping[str, Dict[str, float]]] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_result: Optional[Callable[[str, Dict[str, float]], None]] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def pending_jobs(
+        plan: ExecutionPlan,
+        completed: Optional[Mapping[str, Dict[str, float]]],
+    ) -> List[UnitJob]:
+        """The plan's jobs minus the already-completed ones, in plan order."""
+        done = completed or {}
+        return [job for job in plan.jobs if job.key not in done]
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every job in plan order in the current process (the default)."""
+
+    def execute(self, plan, completed=None, progress=None, on_result=None):
+        pending = self.pending_jobs(plan, completed)
+        total = len(plan.jobs)
+        done = total - len(pending)
+        fresh: Dict[str, Dict[str, float]] = {}
+        for job in pending:
+            fresh[job.key] = execute_unit(job)
+            if on_result is not None:
+                on_result(job.key, fresh[job.key])
+            done += 1
+            if progress is not None:
+                progress(done, total, job)
+        return fresh
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan unit jobs out over a multiprocessing pool.
+
+    Jobs are dispatched in plan order with chunk size 1 (long and short
+    points interleave freely) and merged by job key, so the assembled
+    output is byte-identical to :class:`SerialBackend` regardless of
+    completion order.  ``jobs`` defaults to the host's CPU count.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("a process pool needs at least one worker")
+
+    def execute(self, plan, completed=None, progress=None, on_result=None):
+        import multiprocessing
+
+        pending = self.pending_jobs(plan, completed)
+        if not pending:
+            return {}
+        total = len(plan.jobs)
+        done = total - len(pending)
+        jobs_by_key = {job.key: job for job in pending}
+        payloads = [(job.key, job.spec.to_dict(), job.seed) for job in pending]
+        workers = min(self.jobs, len(pending))
+        # ``fork`` keeps the already-imported interpreter (cheap, and the
+        # adapters derive all randomness from the job seed, so inherited
+        # state cannot leak into results); fall back to ``spawn`` elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        fresh: Dict[str, Dict[str, float]] = {}
+        with context.Pool(processes=workers) as pool:
+            for key, metrics in pool.imap_unordered(
+                    _pool_execute, payloads, chunksize=1):
+                fresh[key] = metrics
+                if on_result is not None:
+                    on_result(key, metrics)
+                done += 1
+                if progress is not None:
+                    progress(done, total, jobs_by_key[key])
+        return fresh
+
+
+def backend_for(jobs: Optional[int] = None) -> ExecutionBackend:
+    """The backend for a ``--jobs`` value: serial for ``None``/0/1."""
+    if jobs is None or int(jobs) <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(int(jobs))
+
+
+# ----------------------------------------------------------------------
+# Plan execution
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: ExecutionPlan,
+    backend: Optional[Union[ExecutionBackend, int]] = None,
+    store=None,
+    progress: Optional[Union[bool, ProgressCallback]] = None,
+) -> ResultSet:
+    """Run a plan on a backend and assemble the ResultSet.
+
+    ``backend`` is an :class:`ExecutionBackend` instance or a ``--jobs``
+    style integer (``None``/0/1 → serial).  ``store`` is a
+    :class:`~repro.analysis.runstore.RunStore` used for spec-hash-based
+    resume: unit jobs already recorded there are not re-executed, and
+    freshly computed ones are recorded *as they finish*, so a killed or
+    interrupted run resumes from the last completed job.  ``progress`` is
+    a callback (or ``True`` for a stderr line per job).
+    """
+    if not isinstance(backend, ExecutionBackend):
+        backend = backend_for(backend)
+    callback = _stderr_progress if progress is True else (progress or None)
+
+    completed: Dict[str, Dict[str, float]] = {}
+    on_result = None
+    if store is not None:
+        completed = store.completed_units(plan.job_keys())
+        on_result = store.put_unit
+    if callback is not None and completed:
+        callback(len(completed), len(plan.jobs), None)
+
+    fresh = backend.execute(plan, completed=completed, progress=callback,
+                            on_result=on_result)
+
+    metrics_by_key = dict(completed)
+    metrics_by_key.update(fresh)
+    return plan.assemble(metrics_by_key)
+
+
+def _stderr_progress(done: int, total: int, job: Optional[UnitJob]) -> None:
+    """The ``--progress`` renderer: one stderr line per completed job."""
+    if job is None:
+        print(f"  [{done}/{total}] resumed from run store", file=sys.stderr)
+        return
+    print(f"  [{done}/{total}] {job.spec.name} seed={job.seed} ({job.key})",
+          file=sys.stderr)

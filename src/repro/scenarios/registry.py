@@ -184,6 +184,52 @@ register(ScenarioSpec(
 ))
 
 # ----------------------------------------------------------------------
+# Attack harnesses (incentive and identity attacks on open systems)
+# ----------------------------------------------------------------------
+register(ScenarioSpec(
+    name="selfish-mining",
+    family="permissionless",
+    description="Eyal-Sirer selfish mining: a minority pool earns more than its fair share",
+    claim="E10",
+    architecture={"attack": "selfish", "alpha": 1.0 / 3.0, "gamma": 0.0,
+                  "blocks": 80_000},
+    seed=1,
+    sweeps={"architecture.alpha": [0.25, 0.3, 0.35, 0.4, 0.45]},
+))
+
+register(ScenarioSpec(
+    name="double-spend",
+    family="permissionless",
+    description="Nakamoto/Rosenfeld double-spend catch-up: success probability vs confirmations",
+    claim="E13",
+    architecture={"attack": "double-spend", "attacker_share": 0.3,
+                  "max_risk": 0.001},
+    seed=1,
+    sweeps={"architecture.confirmations": [0, 1, 2, 4, 6, 8]},
+))
+
+register(ScenarioSpec(
+    name="sybil-attack",
+    family="overlay",
+    description="Sybil/eclipse attack on an open Kademlia overlay: a few machines, many identities",
+    claim="E3",
+    architecture={"attack": "sybil", "overlay": "kad",
+                  "attacker_machines": 4, "identities_per_machine": 50},
+    topology={"size": 200},
+    workload={"kind": "lookup", "lookups": 60},
+    seed=1,
+    variants={
+        "spread (uniform ids)": {},
+        "eclipse (targeted key)": {
+            "architecture.attack": "eclipse",
+            "architecture.attacker_machines": 2,
+            "architecture.identities_per_machine": 16,
+            "workload.lookups": 40,
+        },
+    },
+))
+
+# ----------------------------------------------------------------------
 # Open P2P overlays
 # ----------------------------------------------------------------------
 register(ScenarioSpec(
@@ -268,6 +314,18 @@ register(ScenarioSpec(
     churn="stable",
     workload={"kind": "lookup", "lookups": 300},
     seed=3,
+))
+
+register(ScenarioSpec(
+    name="overlay-scaling",
+    family="overlay",
+    description="Network-size scaling law: lookup hops grow O(log n) with overlay size",
+    claim="E2",
+    architecture={"overlay": "kad"},
+    topology={"size": 100, "network": "wan"},
+    workload={"kind": "lookup", "lookups": 60},
+    seed=7,
+    sweeps={"topology.size": [100, 200, 400, 800]},
 ))
 
 register(ScenarioSpec(

@@ -1,9 +1,18 @@
-"""Run scenarios: resolve, override, replicate, sweep, aggregate.
+"""Run scenarios: resolve, override, replicate, sweep — via execution plans.
 
 ``run_scenario`` executes one concrete spec (the base configuration of a
 swept spec); ``run_sweep`` expands a spec's variants/sweeps and runs every
 point into a :class:`~repro.analysis.resultset.ResultSet`.  Both accept
 either a registry name or a :class:`ScenarioSpec`.
+
+Since the execution-API redesign both are thin wrappers over
+:mod:`repro.scenarios.execution`: ``compile_scenario``/``compile_sweep``
+turn the resolved spec into an :class:`ExecutionPlan` of seed-pinned unit
+jobs, and :func:`~repro.scenarios.execution.execute_plan` runs it on a
+pluggable backend.  ``backend`` accepts an
+:class:`~repro.scenarios.execution.ExecutionBackend` or a ``--jobs`` style
+integer (``None``/0/1 → serial, byte-identical to the historical runner);
+``store`` enables :class:`~repro.analysis.runstore.RunStore` resume.
 """
 
 from __future__ import annotations
@@ -11,10 +20,17 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.analysis.resultset import ResultSet
-from repro.scenarios.adapters import adapter_for
+from repro.scenarios.execution import (
+    ExecutionBackend,
+    ExecutionPlan,
+    ResultSlot,
+    execute_plan,
+)
 from repro.scenarios.registry import get_scenario
-from repro.scenarios.result import ReplicateResult, ScenarioResult
+from repro.scenarios.result import ScenarioResult
 from repro.scenarios.spec import ScenarioSpec
+
+Backend = Optional[Union[ExecutionBackend, int]]
 
 
 def resolve_spec(
@@ -34,35 +50,58 @@ def resolve_spec(
     return spec
 
 
-def _run_concrete(spec: ScenarioSpec, label: str = "") -> ScenarioResult:
-    """Run one fully-expanded spec: one adapter, ``replicates`` seeds."""
-    adapter = adapter_for(spec.family)
-    replicates = [
-        ReplicateResult(seed=spec.seed + index,
-                        metrics=adapter.run_replicate(spec, spec.seed + index))
-        for index in range(spec.replicates)
-    ]
-    return ScenarioResult(
-        scenario=spec.name,
-        family=spec.family,
-        label=label,
-        spec=spec.to_dict(),
-        replicates=replicates,
+# ----------------------------------------------------------------------
+# Plan compilation
+# ----------------------------------------------------------------------
+def compile_scenario(
+    scenario: Union[str, ScenarioSpec],
+    overrides: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    replicates: Optional[int] = None,
+) -> ExecutionPlan:
+    """One-slot plan for the base configuration of a scenario."""
+    spec = resolve_spec(scenario, overrides, seed, replicates)
+    base = spec.copy()
+    base.sweeps = {}
+    base.variants = {}
+    return ExecutionPlan(
+        slots=[ResultSlot.for_point(base)],
+        name=spec.name,
+        description=spec.description,
     )
 
 
+def compile_sweep(
+    scenario: Union[str, ScenarioSpec],
+    overrides: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    replicates: Optional[int] = None,
+) -> ExecutionPlan:
+    """One slot per expanded variant/sweep point, in expansion order."""
+    spec = resolve_spec(scenario, overrides, seed, replicates)
+    return ExecutionPlan(
+        slots=[ResultSlot.for_point(point, label)
+               for label, point in spec.expand()],
+        name=spec.name,
+        description=spec.description,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
 def run_scenario(
     scenario: Union[str, ScenarioSpec],
     overrides: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = None,
     replicates: Optional[int] = None,
+    backend: Backend = None,
+    store=None,
+    progress=None,
 ) -> ScenarioResult:
     """Run the base configuration of a scenario and aggregate its replicates."""
-    spec = resolve_spec(scenario, overrides, seed, replicates)
-    base = spec.copy()
-    base.sweeps = {}
-    base.variants = {}
-    return _run_concrete(base)
+    plan = compile_scenario(scenario, overrides, seed, replicates)
+    return execute_plan(plan, backend=backend, store=store, progress=progress)[0]
 
 
 def run_sweep(
@@ -70,6 +109,9 @@ def run_sweep(
     overrides: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = None,
     replicates: Optional[int] = None,
+    backend: Backend = None,
+    store=None,
+    progress=None,
 ) -> ResultSet:
     """Expand a spec's variants/sweeps and run every point, in order.
 
@@ -77,12 +119,8 @@ def run_sweep(
     indexable like the list it used to be, plus the
     filter/group/pivot/CI query surface).
     """
-    spec = resolve_spec(scenario, overrides, seed, replicates)
-    return ResultSet(
-        [_run_concrete(point, label) for label, point in spec.expand()],
-        name=spec.name,
-        description=spec.description,
-    )
+    plan = compile_sweep(scenario, overrides, seed, replicates)
+    return execute_plan(plan, backend=backend, store=store, progress=progress)
 
 
 def sweep_metrics(results: Union[ResultSet, List[ScenarioResult]]) -> List[Dict[str, float]]:

@@ -22,7 +22,9 @@ the inner cartesian product.
 from __future__ import annotations
 
 import copy as _copy
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -189,3 +191,21 @@ class ScenarioSpec:
         if unknown:
             raise ValueError(f"unknown spec keys: {sorted(unknown)}")
         return cls(**_copy.deepcopy(dict(data)))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> str:
+        """The minimal, key-sorted JSON form used for hashing and caching."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """A stable content hash of the spec (16 hex chars of sha256).
+
+        Two specs hash equal iff :meth:`to_dict` is equal, independent of
+        how they were built (registry lookup, overrides, ``from_dict``);
+        the :mod:`repro.scenarios.execution` layer keys unit-job caching
+        and :class:`~repro.analysis.runstore.RunStore` resume on it.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:16]

@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.resultset import ResultSet
-from repro.scenarios.runner import run_scenario, run_sweep
+from repro.scenarios.execution import ExecutionPlan, execute_plan
+from repro.scenarios.runner import Backend, compile_scenario, compile_sweep
 
 
 @dataclass
@@ -202,21 +203,22 @@ def get_study(name: str) -> StudySpec:
 
 
 # ----------------------------------------------------------------------
-# Execution
+# Compilation and execution
 # ----------------------------------------------------------------------
-def run_study(
+def compile_study(
     study: Union[str, StudySpec],
     seed: Optional[int] = None,
     replicates: Optional[int] = None,
     members: Optional[Sequence[str]] = None,
     member_overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
-) -> ResultSet:
-    """Run a study (or a subset of its members) into one ResultSet.
+) -> ExecutionPlan:
+    """Compile a study (or a subset of its members) into an ExecutionPlan.
 
-    ``members`` restricts the run to the given labels (declaration order is
-    kept).  ``member_overrides`` maps a member label — or ``"*"`` for every
-    member — to extra dotted-path overrides applied on top of the member's
-    own; ``seed``/``replicates`` override the study-level values.
+    One :class:`~repro.scenarios.execution.ResultSlot` per member (or per
+    sweep point of a swept member, labelled ``"<member>: <point>"``), each
+    holding one seed-pinned unit job per replicate.  The plan is pure data;
+    hand it to :func:`~repro.scenarios.execution.execute_plan` or just call
+    :func:`run_study`.
     """
     spec = get_study(study) if isinstance(study, str) else study
     selected = spec.members
@@ -239,23 +241,51 @@ def run_study(
     run_seed = seed if seed is not None else spec.seed
     run_replicates = replicates if replicates is not None else spec.replicates
 
-    results = []
+    slots = []
     for member in selected:
         overrides = dict(member.overrides)
         overrides.update(extra.get("*", {}))
         overrides.update(extra.get(member.label, {}))
         if member.sweep:
-            for point in run_sweep(member.scenario, overrides=overrides,
-                                   seed=run_seed, replicates=run_replicates):
-                point.label = (f"{member.label}: {point.label}"
-                               if point.label else member.label)
-                results.append(point)
+            member_plan = compile_sweep(member.scenario, overrides=overrides,
+                                        seed=run_seed, replicates=run_replicates)
+            for slot in member_plan.slots:
+                slot.label = (f"{member.label}: {slot.label}"
+                              if slot.label else member.label)
+                slots.append(slot)
         else:
-            result = run_scenario(member.scenario, overrides=overrides,
-                                  seed=run_seed, replicates=run_replicates)
-            result.label = member.label
-            results.append(result)
-    return ResultSet(results, name=spec.name, description=spec.description)
+            member_plan = compile_scenario(member.scenario, overrides=overrides,
+                                           seed=run_seed,
+                                           replicates=run_replicates)
+            slot = member_plan.slots[0]
+            slot.label = member.label
+            slots.append(slot)
+    return ExecutionPlan(slots=slots, name=spec.name, description=spec.description)
+
+
+def run_study(
+    study: Union[str, StudySpec],
+    seed: Optional[int] = None,
+    replicates: Optional[int] = None,
+    members: Optional[Sequence[str]] = None,
+    member_overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+    backend: Backend = None,
+    store=None,
+    progress=None,
+) -> ResultSet:
+    """Run a study (or a subset of its members) into one ResultSet.
+
+    ``members`` restricts the run to the given labels (declaration order is
+    kept).  ``member_overrides`` maps a member label — or ``"*"`` for every
+    member — to extra dotted-path overrides applied on top of the member's
+    own; ``seed``/``replicates`` override the study-level values.
+    ``backend`` selects the execution backend (an
+    :class:`~repro.scenarios.execution.ExecutionBackend` or a ``--jobs``
+    integer); ``store`` enables RunStore unit-job resume.
+    """
+    plan = compile_study(study, seed=seed, replicates=replicates,
+                         members=members, member_overrides=member_overrides)
+    return execute_plan(plan, backend=backend, store=store, progress=progress)
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ same seed produces the same trajectory.
 
 from repro.sim.engine import Event, Process, Simulator, Timeout
 from repro.sim.rng import SeededRNG
-from repro.sim.network import Link, Message, Network, NetworkParams
+from repro.sim.network import NETWORK_PRESETS, Link, Message, Network, NetworkParams
 from repro.sim.node import Node
 from repro.sim.churn import ChurnModel, ChurnProcess, SessionSample
 from repro.sim.metrics import Counter, MetricsRegistry, Sample, TimeSeries
@@ -34,6 +34,7 @@ __all__ = [
     "Link",
     "Message",
     "Network",
+    "NETWORK_PRESETS",
     "NetworkParams",
     "Node",
     "ChurnModel",

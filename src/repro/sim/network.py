@@ -51,6 +51,24 @@ class NetworkParams:
         Probability that any single message is silently dropped.
     inter_region_latency:
         Mean one-way delay between nodes in *different* regions.
+
+    Presets
+    -------
+    :meth:`by_name` resolves the declarative grid presets used by scenario
+    specs (``topology: {"network": "lan"}``): ``lan`` (single datacenter,
+    sub-millisecond, gigabit), ``wan`` (the ``NetworkParams()`` class
+    defaults: continental internet paths) and ``geo`` (geo-distributed
+    consumer links: ~80 ms in-region, 250 ms cross-region, constrained
+    5 Mbps links).  :meth:`from_spec` additionally accepts ``None`` (keep
+    the component default), a dict of field overrides, or a ready
+    ``NetworkParams``.
+
+    Naming *any* preset replaces the consuming component's own fallback,
+    and some components calibrate that fallback differently from the class
+    defaults (e.g. :class:`~repro.blockchain.network.PoWNetwork` defaults
+    to wide-area Bitcoin measurements with a 100 ms base latency) — so
+    ``"network": "wan"`` is an explicit choice of these values, not
+    necessarily a no-op.
     """
 
     base_latency: float = 0.05
@@ -58,6 +76,52 @@ class NetworkParams:
     bandwidth_bps: float = 10_000_000.0
     loss_rate: float = 0.0
     inter_region_latency: float = 0.15
+
+    @classmethod
+    def by_name(cls, name: str) -> "NetworkParams":
+        """A fresh instance of one of the named presets (lan/wan/geo)."""
+        try:
+            factory = NETWORK_PRESETS[str(name)]
+        except KeyError:
+            known = ", ".join(sorted(NETWORK_PRESETS))
+            raise KeyError(
+                f"unknown network preset {name!r}; known presets: {known}"
+            ) from None
+        return factory()
+
+    @classmethod
+    def from_spec(cls, spec) -> Optional["NetworkParams"]:
+        """Resolve a declarative network description.
+
+        ``None`` → ``None`` (the component keeps its own default), a preset
+        name → :meth:`by_name`, a dict → field overrides on the defaults,
+        and an existing ``NetworkParams`` passes through unchanged.
+        """
+        if spec is None:
+            return None
+        if isinstance(spec, NetworkParams):
+            return spec
+        if isinstance(spec, str):
+            return cls.by_name(spec)
+        if isinstance(spec, dict):
+            return cls(**spec)
+        raise TypeError(
+            f"cannot build NetworkParams from {type(spec).__name__}; "
+            f"pass a preset name, a dict of fields, or a NetworkParams"
+        )
+
+
+#: The declarative latency/bandwidth grid presets (factories, so every
+#: resolution gets an independent instance).
+NETWORK_PRESETS = {
+    "lan": lambda: NetworkParams(base_latency=0.0005, latency_jitter=0.1,
+                                 bandwidth_bps=1_000_000_000.0, loss_rate=0.0,
+                                 inter_region_latency=0.002),
+    "wan": lambda: NetworkParams(),
+    "geo": lambda: NetworkParams(base_latency=0.08, latency_jitter=0.35,
+                                 bandwidth_bps=5_000_000.0, loss_rate=0.0,
+                                 inter_region_latency=0.25),
+}
 
 
 @dataclass

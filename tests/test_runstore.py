@@ -1,0 +1,167 @@
+"""RunStore: named/content-addressed persistence, unit cache, CLI ls/show."""
+
+import json
+
+import pytest
+
+from repro.analysis.runstore import RunStore, default_runs_dir
+from repro.run import main as run_main
+from repro.scenarios import compile_sweep, execute_plan, run_sweep
+from repro.scenarios import execution as execution_module
+
+SWEEP_OVERRIDES = {"architecture.steps": 20, "architecture.arrivals_per_step": 20}
+
+
+def small_sweep(**kwargs):
+    return run_sweep("market-concentration", overrides=SWEEP_OVERRIDES, **kwargs)
+
+
+class TestSaveLoadList:
+    def test_round_trip_is_identical(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        results = small_sweep()
+        record = store.save(results, "market-demo")
+        assert record.name == "market-demo"
+        assert record.results == 3
+        reloaded = store.load("market-demo")
+        assert reloaded.to_json() == results.to_json()
+        assert reloaded.name == results.name
+
+    def test_content_addressing_shares_objects(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        results = small_sweep()
+        first = store.save(results, "a")
+        second = store.save(results, "b")
+        assert first.object_hash == second.object_hash
+        assert len(list(store.objects_dir.glob("*.json"))) == 1
+        assert {record.name for record in store.list()} == {"a", "b"}
+
+    def test_unknown_name_lists_saved_runs(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.save(small_sweep(), "present")
+        with pytest.raises(KeyError, match="present"):
+            store.load("absent")
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        for bad in ("../escape", "", "a/b", ".hidden"):
+            with pytest.raises((ValueError, KeyError)):
+                store.save(small_sweep(), bad)
+
+    def test_corrupted_object_fails_loudly(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        record = store.save(small_sweep(), "demo")
+        object_path = store.objects_dir / f"{record.object_hash}.json"
+        object_path.write_text(object_path.read_text().replace("market", "corrupt"))
+        with pytest.raises(ValueError, match="content-hash"):
+            store.load("demo")
+
+    def test_delete_removes_pointer_keeps_object(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        record = store.save(small_sweep(), "demo")
+        store.delete("demo")
+        assert store.list() == []
+        assert (store.objects_dir / f"{record.object_hash}.json").exists()
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "elsewhere"))
+        assert default_runs_dir() == tmp_path / "elsewhere"
+        assert RunStore().root == tmp_path / "elsewhere"
+
+
+class TestUnitCache:
+    def test_put_get_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        assert store.get_unit("abc-s1") is None
+        store.put_unit("abc-s1", {"throughput_tps": 3.5})
+        assert store.get_unit("abc-s1") == {"throughput_tps": 3.5}
+        assert store.completed_units(["abc-s1", "missing"]) == {
+            "abc-s1": {"throughput_tps": 3.5}}
+
+    def test_resume_skips_completed_jobs(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path / "runs")
+        first = small_sweep(store=store)
+        plan = compile_sweep("market-concentration", overrides=SWEEP_OVERRIDES)
+        assert set(store.completed_units(plan.job_keys())) == set(plan.job_keys())
+
+        def boom(job):
+            raise AssertionError("resume should not re-execute finished jobs")
+
+        monkeypatch.setattr(execution_module, "execute_unit", boom)
+        resumed = execute_plan(plan, store=store)
+        assert resumed.to_json() == first.to_json()
+
+    def test_torn_unit_file_is_a_cache_miss(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.put_unit("abc-s1", {"x": 1.0})
+        (store.units_dir / "abc-s1.json").write_text('{"key": "abc-s1", "met')
+        assert store.get_unit("abc-s1") is None
+        # Recomputing repairs the cache.
+        store.put_unit("abc-s1", {"x": 1.0})
+        assert store.get_unit("abc-s1") == {"x": 1.0}
+
+    def test_interrupted_run_keeps_finished_units(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path / "runs")
+        plan = compile_sweep("market-concentration", overrides=SWEEP_OVERRIDES)
+        real = execution_module.execute_unit
+        calls = []
+
+        def fail_after_first(job):
+            if calls:
+                raise RuntimeError("simulated crash mid-grid")
+            calls.append(job.key)
+            return real(job)
+
+        monkeypatch.setattr(execution_module, "execute_unit", fail_after_first)
+        with pytest.raises(RuntimeError, match="mid-grid"):
+            execute_plan(plan, store=store)
+        # The job that finished before the crash is persisted and resumable.
+        assert set(store.completed_units(plan.job_keys())) == set(calls)
+
+    def test_changed_spec_invalidates_resume(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        small_sweep(store=store)
+        changed = compile_sweep(
+            "market-concentration",
+            overrides={**SWEEP_OVERRIDES, "architecture.providers": 10})
+        assert store.completed_units(changed.job_keys()) == {}
+
+
+class TestCli:
+    def run_and_save(self, tmp_path, capsys):
+        argv = ["market-concentration", "--quiet", "--runs-dir", str(tmp_path),
+                "--save", "demo",
+                "--set", "architecture.steps=20",
+                "--set", "architecture.arrivals_per_step=20"]
+        assert run_main(argv) == 0
+        capsys.readouterr()
+
+    def test_save_ls_show_round_trip(self, tmp_path, capsys):
+        self.run_and_save(tmp_path, capsys)
+        assert run_main(["ls", "--runs-dir", str(tmp_path)]) == 0
+        assert "demo" in capsys.readouterr().out
+        assert run_main(["show", "demo", "--quiet", "--json", "-",
+                         "--runs-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "market-concentration"
+        assert len(payload["results"]) == 3
+
+    def test_save_message_names_the_store(self, tmp_path, capsys):
+        argv = ["market-concentration", "--runs-dir", str(tmp_path),
+                "--save", "demo",
+                "--set", "architecture.steps=10",
+                "--set", "architecture.arrivals_per_step=10"]
+        assert run_main(argv) == 0
+        assert "saved run 'demo'" in capsys.readouterr().out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert run_main(["ls", "--runs-dir", str(tmp_path)]) == 0
+        assert "no saved runs" in capsys.readouterr().out
+
+    def test_show_unknown_run_fails(self, tmp_path, capsys):
+        assert run_main(["show", "ghost", "--runs-dir", str(tmp_path)]) == 2
+        assert "no saved run" in capsys.readouterr().err
+
+    def test_show_without_name_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="saved run name"):
+            run_main(["show", "--runs-dir", str(tmp_path)])

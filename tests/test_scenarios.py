@@ -208,6 +208,64 @@ class TestNewScenarioModes:
         assert stable.metric("recall") >= churned.metric("recall")
         assert stable.metric("messages_per_lookup") > 10.0
 
+    def test_sybil_attack_hijacks_beyond_physical_share(self):
+        trims = {"topology.size": 120, "workload.lookups": 25,
+                 "architecture.identities_per_machine": 40}
+        result = run_scenario("sybil-attack", overrides=trims)
+        assert 0.0 <= result.metric("hijack_rate") <= 1.0
+        # The whole point of E3: a few machines punch far above their
+        # physical population share by fabricating identities.
+        assert result.metric("amplification") > 1.0
+        assert result.metric("sybil_identities") == pytest.approx(
+            result.metric("attacker_machines") * 40)
+
+    def test_eclipse_targets_harder_than_spread(self):
+        spread, eclipse = run_sweep(
+            "sybil-attack",
+            overrides={"topology.size": 120, "workload.lookups": 20,
+                       "architecture.identities_per_machine": 24})
+        assert spread.label.startswith("spread")
+        assert eclipse.label.startswith("eclipse")
+        assert eclipse.metric("hijack_rate") >= spread.metric("hijack_rate")
+
+    def test_unknown_overlay_attack_rejected(self):
+        with pytest.raises(ValueError, match="unknown overlay attack"):
+            run_scenario("sybil-attack",
+                         overrides={"architecture.attack": "teleport"})
+
+    def test_selfish_mining_pays_above_threshold(self):
+        trims = {"architecture.blocks": 30_000}
+        at_045 = run_scenario("selfish-mining",
+                              overrides={**trims, "architecture.alpha": 0.45})
+        assert at_045.metric("advantage") > 0.05
+        assert at_045.metric("simulated_revenue") == pytest.approx(
+            at_045.metric("analytic_revenue"), abs=0.02)
+        below = run_scenario("selfish-mining",
+                             overrides={**trims, "architecture.alpha": 0.2})
+        assert below.metric("advantage") < 0.01
+
+    def test_double_spend_success_decreases_with_confirmations(self):
+        points = run_sweep("double-spend")
+        successes = [point.metric("success_probability") for point in points]
+        assert successes[0] == 1.0  # zero confirmations: race already lost
+        assert successes == sorted(successes, reverse=True)
+        assert successes[-1] < 0.1
+
+    def test_unknown_permissionless_attack_rejected(self):
+        with pytest.raises(ValueError, match="unknown permissionless attack"):
+            run_scenario("double-spend",
+                         overrides={"architecture.attack": "time-warp"})
+
+    def test_overlay_scaling_hops_grow_with_size(self):
+        points = run_sweep("overlay-scaling",
+                           overrides={"workload.lookups": 30})
+        hops = [point.metric("hops_per_lookup") for point in points]
+        assert len(hops) == 4
+        assert hops[-1] > hops[0]
+        # The registered axis records the network preset in each point spec.
+        assert all(point.spec["topology"]["network"] == "wan"
+                   for point in points)
+
     def test_gnutella_total_failure_omits_latency_metrics(self):
         # With no object replicas placed, every query fails; latency must be
         # absent (not 0.0), so comparison tables render "-" instead of

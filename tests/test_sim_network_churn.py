@@ -216,3 +216,49 @@ class TestChurnProcess:
         assert process.is_online("n")
         sim.run(until=100.0)
         assert not process.is_online("n")
+
+
+class TestNetworkPresets:
+    def test_by_name_returns_fresh_instances(self):
+        first = NetworkParams.by_name("lan")
+        first.base_latency = 99.0
+        assert NetworkParams.by_name("lan").base_latency == 0.0005
+
+    def test_preset_ordering_is_physical(self):
+        lan = NetworkParams.by_name("lan")
+        wan = NetworkParams.by_name("wan")
+        geo = NetworkParams.by_name("geo")
+        assert lan.base_latency < wan.base_latency < geo.base_latency
+        assert (lan.inter_region_latency < wan.inter_region_latency
+                < geo.inter_region_latency)
+        assert lan.bandwidth_bps > wan.bandwidth_bps > geo.bandwidth_bps
+
+    def test_wan_preset_matches_stock_defaults(self):
+        assert NetworkParams.by_name("wan") == NetworkParams()
+
+    def test_unknown_preset_lists_names(self):
+        with pytest.raises(KeyError, match="lan, wan"):
+            NetworkParams.by_name("interplanetary")
+
+    def test_from_spec_accepts_all_declarative_forms(self):
+        assert NetworkParams.from_spec(None) is None
+        assert NetworkParams.from_spec("geo") == NetworkParams.by_name("geo")
+        assert NetworkParams.from_spec({"base_latency": 0.01}).base_latency == 0.01
+        params = NetworkParams(loss_rate=0.2)
+        assert NetworkParams.from_spec(params) is params
+        with pytest.raises(TypeError, match="preset name"):
+            NetworkParams.from_spec(42)
+
+    def test_presets_shape_delivery_latency(self):
+        def mean_latency(preset):
+            sim = Simulator()
+            network = Network(sim, params=NetworkParams.by_name(preset),
+                              rng=SeededRNG(1))
+            latencies = []
+            network.register("sink", lambda msg: latencies.append(msg.latency))
+            for _ in range(50):
+                network.send("source", "sink", "ping", size_bytes=256)
+            sim.run()
+            return sum(latencies) / len(latencies)
+
+        assert mean_latency("lan") < mean_latency("wan") < mean_latency("geo")
