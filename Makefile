@@ -1,7 +1,10 @@
 PY := python
 
-.PHONY: test bench bench-update experiments smoke
+.PHONY: test bench bench-update experiments goldens smoke
 
+# Tier-1 gate.  Includes the golden-corpus test (tests/test_goldens.py):
+# every registered scenario and study re-runs trimmed at its fixed seed and
+# must diff clean (zero tolerance) against tests/goldens/.
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
@@ -18,6 +21,12 @@ bench-update:
 # Regenerate EXPERIMENTS.md from the repro.core.claims registry.
 experiments:
 	PYTHONPATH=src $(PY) -m repro.analysis.experiments
+
+# Regenerate the golden corpus (tests/goldens/) after an INTENTIONAL change
+# to simulation numbers; commit the diff.  The tier-1 golden test fails with
+# a rendered drift table until this is done.
+goldens:
+	PYTHONPATH=src $(PY) -m repro.scenarios.goldens
 
 # Fast end-to-end smoke of the scenario runner: one trimmed scenario per
 # architecture family plus the trimmed figure1 cross-family study — once

@@ -1,7 +1,8 @@
 """Statistics and reporting helpers shared by experiments and benchmarks."""
 
+from repro.analysis.diff import DiffReport, Tolerance, diff_resultsets
 from repro.analysis.resultset import ResultSet
-from repro.analysis.runstore import RunRecord, RunStore
+from repro.analysis.runstore import GcReport, RunRecord, RunStore, StoreProblem
 from repro.analysis.stats import (
     bootstrap_ci,
     cdf_points,
@@ -18,13 +19,18 @@ __all__ = [
     "bootstrap_ci",
     "cdf_points",
     "describe",
+    "diff_resultsets",
     "geometric_mean",
     "linear_fit",
     "mean",
     "percentile",
     "stdev",
+    "DiffReport",
+    "GcReport",
     "ResultSet",
     "ResultTable",
     "RunRecord",
     "RunStore",
+    "StoreProblem",
+    "Tolerance",
 ]

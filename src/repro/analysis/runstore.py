@@ -31,8 +31,18 @@ Usage::
     for record in store.list():
         print(record.name, record.results, record.object_hash)
 
+Lifecycle: because objects are content-addressed and units are cached for
+every executed plan (saved or not), a long-lived store accumulates garbage.
+``gc`` drops every object and unit not reachable from ``named/`` (an
+object is reachable when a named record points at it; a unit is reachable
+when a reachable ResultSet contains the (spec, seed) the unit caches) and
+``verify`` re-hashes every stored object and sanity-checks every named
+record and cached unit, reporting corruption instead of letting it feed a
+comparison.
+
 The same store drives the CLI: ``repro-run study figure1 --save demo``,
-``repro-run ls``, ``repro-run show demo``.
+``repro-run ls``, ``repro-run show demo``, ``repro-run gc --dry-run``,
+``repro-run verify``.
 """
 
 from __future__ import annotations
@@ -41,10 +51,11 @@ import hashlib
 import json
 import os
 import re
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.analysis.resultset import ResultSet
 
@@ -57,10 +68,19 @@ RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 #: Run names become file names; keep them portable.
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
+#: gc only sweeps ``.tmp`` files older than this (seconds), so it cannot
+#: race the write-then-rename window of a concurrently running grid.
+TMP_SWEEP_AGE_S = 3600.0
+
 
 def default_runs_dir() -> Path:
     """``$REPRO_RUNS_DIR`` when set, else ``./runs``."""
     return Path(os.environ.get(RUNS_DIR_ENV) or "runs")
+
+
+def is_run_name(text: str) -> bool:
+    """Whether ``text`` is a valid saved-run name (vs a path or ``-``)."""
+    return bool(_NAME_RE.match(text))
 
 
 def _sha256(payload: str) -> str:
@@ -99,6 +119,40 @@ class RunRecord:
             resultset_name=str(data.get("resultset_name", "")),
             saved_at=str(data.get("saved_at", "")),
         )
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`RunStore.gc` pass removed (or would remove)."""
+
+    dry_run: bool
+    objects_removed: List[str] = field(default_factory=list)
+    units_removed: List[str] = field(default_factory=list)
+    objects_kept: int = 0
+    units_kept: int = 0
+
+    @property
+    def removed(self) -> int:
+        return len(self.objects_removed) + len(self.units_removed)
+
+    def summary(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (f"{verb} {len(self.objects_removed)} object(s) and "
+                f"{len(self.units_removed)} unit(s); kept "
+                f"{self.objects_kept} object(s), {self.units_kept} unit(s)")
+
+
+@dataclass
+class StoreProblem:
+    """One integrity problem found by :meth:`RunStore.verify`."""
+
+    kind: str  # corrupt-object | missing-object | unreadable-record |
+    #            unreadable-unit | unit-key-mismatch
+    path: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.path} — {self.detail}"
 
 
 class RunStore:
@@ -239,3 +293,128 @@ class RunStore:
             if metrics is not None:
                 completed[key] = metrics
         return completed
+
+    # -- lifecycle: reachability, gc, verify ---------------------------
+    def reachable(self) -> Tuple[Set[str], Set[str]]:
+        """``(object hashes, unit keys)`` reachable from ``named/``.
+
+        An object is reachable when a named record points at it; a unit is
+        reachable when a reachable ResultSet contains the exact (spec,
+        seed) the unit caches.  Unit keys are *recomputed* from the stored
+        result specs (via the same :class:`~repro.scenarios.execution.
+        UnitJob` derivation the execution layer uses), so reachability
+        survives renames of the cache files themselves.  Unreadable
+        objects contribute no unit keys — run :meth:`verify` first if the
+        store may be corrupt.
+        """
+        from repro.scenarios.execution import UnitJob
+        from repro.scenarios.spec import ScenarioSpec
+
+        object_hashes: Set[str] = set()
+        unit_keys: Set[str] = set()
+        for record in self.list():
+            object_hashes.add(record.object_hash)
+            object_path = self.objects_dir / f"{record.object_hash}.json"
+            if not object_path.exists():
+                continue
+            try:
+                results = ResultSet.from_json(
+                    object_path.read_text(encoding="utf-8"))
+            except (ValueError, KeyError, TypeError):
+                continue
+            for result in results:
+                try:
+                    spec = ScenarioSpec.from_dict(result.spec)
+                except (ValueError, KeyError, TypeError):
+                    continue
+                for replicate in result.replicates:
+                    unit_keys.add(UnitJob.for_spec(spec, replicate.seed).key)
+        return object_hashes, unit_keys
+
+    def gc(self, dry_run: bool = False) -> GcReport:
+        """Drop objects and units unreachable from ``named/``.
+
+        With ``dry_run`` nothing is deleted; the returned
+        :class:`GcReport` lists what a real pass would remove.  Leftover
+        ``.tmp`` files from interrupted unit writes are swept too, but
+        only once older than :data:`TMP_SWEEP_AGE_S` — a younger one may
+        be the in-flight half of a concurrent run's atomic write.
+        """
+        reachable_objects, reachable_units = self.reachable()
+        report = GcReport(dry_run=dry_run)
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.glob("*.json")):
+                if path.stem in reachable_objects:
+                    report.objects_kept += 1
+                else:
+                    report.objects_removed.append(path.stem)
+                    if not dry_run:
+                        path.unlink()
+        if self.units_dir.is_dir():
+            for path in sorted(self.units_dir.glob("*.json")):
+                if path.stem in reachable_units:
+                    report.units_kept += 1
+                else:
+                    report.units_removed.append(path.stem)
+                    if not dry_run:
+                        path.unlink()
+            cutoff = time.time() - TMP_SWEEP_AGE_S
+            for path in sorted(self.units_dir.glob("*.tmp")):
+                try:
+                    if path.stat().st_mtime > cutoff:
+                        continue
+                except OSError:  # renamed/removed underneath us: not ours
+                    continue
+                report.units_removed.append(path.name)
+                if not dry_run:
+                    path.unlink()
+        return report
+
+    def verify(self) -> List[StoreProblem]:
+        """Integrity-check the whole store; an empty list means healthy.
+
+        Every object is re-hashed against its file name (the content
+        address), every named record must parse and point at an existing
+        object, and every cached unit must parse with a ``key`` matching
+        its file name.
+        """
+        problems: List[StoreProblem] = []
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.glob("*.json")):
+                payload = path.read_text(encoding="utf-8").rstrip("\n")
+                if _sha256(payload) != path.stem:
+                    problems.append(StoreProblem(
+                        "corrupt-object", str(path),
+                        "content does not hash to its file name"))
+        if self.named_dir.is_dir():
+            for path in sorted(self.named_dir.glob("*.json")):
+                try:
+                    record = RunRecord.from_dict(
+                        json.loads(path.read_text(encoding="utf-8")))
+                except (ValueError, KeyError, TypeError):
+                    problems.append(StoreProblem(
+                        "unreadable-record", str(path),
+                        "named record does not parse"))
+                    continue
+                object_path = self.objects_dir / f"{record.object_hash}.json"
+                if not object_path.exists():
+                    problems.append(StoreProblem(
+                        "missing-object", str(path),
+                        f"points at missing object {record.object_hash}"))
+        if self.units_dir.is_dir():
+            for path in sorted(self.units_dir.glob("*.json")):
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                    key = str(data["key"])
+                    for value in data["metrics"].values():
+                        float(value)
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    problems.append(StoreProblem(
+                        "unreadable-unit", str(path),
+                        "unit cache entry does not parse"))
+                    continue
+                if key != path.stem:
+                    problems.append(StoreProblem(
+                        "unit-key-mismatch", str(path),
+                        f"entry key {key!r} does not match its file name"))
+        return problems

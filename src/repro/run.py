@@ -20,13 +20,32 @@
     python -m repro.run ls
     python -m repro.run show fig1-nightly
 
+    # Drift verification and store lifecycle
+    python -m repro.run diff fig1-nightly fig1-tonight --tol throughput_tps=0.05
+    python -m repro.run diff results-a.json results-b.json
+    python -m repro.run study figure1 --save again --no-resume
+    python -m repro.run gc --dry-run
+    python -m repro.run verify
+
 Installed as the ``repro-run`` console script.  The first argument is a
-subcommand (``run``, ``sweep``, ``study``, ``ls``, ``show``) or — for
-backwards compatibility — a bare registered scenario name.  ``run NAME``
-executes the base configuration only (registered sweep axes are dropped;
-explicit ``--sweep`` flags still apply); ``sweep NAME`` and the bare-name
-form expand the scenario's declared variants/sweeps into one result per
-point.
+subcommand (``run``, ``sweep``, ``study``, ``ls``, ``show``, ``diff``,
+``gc``, ``verify``) or — for backwards compatibility — a bare registered
+scenario name.  ``run NAME`` executes the base configuration only
+(registered sweep axes are dropped; explicit ``--sweep`` flags still
+apply); ``sweep NAME`` and the bare-name form expand the scenario's
+declared variants/sweeps into one result per point.
+
+``diff A B`` compares two ResultSets through
+:mod:`repro.analysis.diff` — A and B are saved run names, paths to result
+JSON files, or ``-`` for stdin — and exits 0 when they match within
+tolerance, 1 on drift.  ``--tol METRIC=REL`` (repeatable; ``*`` matches
+every metric, ``abs:X``/``rel:X,abs:Y`` forms supported) sets per-metric
+tolerances; CI-overlap failures of replicated runs warn by default and
+fail only under ``--strict-ci``.  ``gc`` drops store objects and cached
+units unreachable from any saved name (``--dry-run`` lists them without
+deleting), ``verify`` re-hashes every stored object and flags corruption,
+and ``--no-resume`` forces every unit job to re-execute, overwriting the
+cache, instead of resuming from it.
 
 ``--jobs N`` fans the plan's unit jobs out over N worker processes; the
 output is byte-identical to the serial run at the same seed (results merge
@@ -48,25 +67,29 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.runstore import RunStore
+from repro.analysis.diff import Tolerance, diff_resultsets, parse_tolerance
+from repro.analysis.resultset import ResultSet
+from repro.analysis.runstore import RunStore, is_run_name
 from repro.analysis.tables import ResultTable
 from repro.scenarios import (
     SCENARIOS,
     STUDIES,
+    compile_study,
+    compile_sweep,
+    execute_plan,
     get_scenario,
     get_study,
     results_to_json,
-    run_study,
-    run_sweep,
     scenario_names,
     study_names,
 )
 
 #: First positional arguments that are commands rather than scenario names.
-COMMANDS = ("run", "sweep", "study", "ls", "show")
+COMMANDS = ("run", "sweep", "study", "ls", "show", "diff", "gc", "verify")
 
 EPILOG = """\
 examples:
@@ -78,6 +101,11 @@ examples:
   repro-run study figure1 --save fig1-nightly    persist + resume via the run store
   repro-run ls                                   list saved runs
   repro-run show fig1-nightly                    reload a saved run
+  repro-run diff fig1-nightly fig1-tonight       drift check two saved runs
+  repro-run diff golden.json - --tol '*'=0.05    file vs stdin, 5% everywhere
+  repro-run study figure1 --save redo --no-resume  re-execute cached unit jobs
+  repro-run gc --dry-run                         list unreachable objects/units
+  repro-run verify                               re-hash every stored object
 """
 
 
@@ -165,6 +193,116 @@ def _print_resultset(results, compare_metrics=None, title=None) -> None:
                                title=title).render())
 
 
+def _parse_tolerances(args) -> Dict[str, Tolerance]:
+    tolerances: Dict[str, Tolerance] = {}
+    for assignment in args.tolerances:
+        try:
+            metric, tolerance = parse_tolerance(assignment)
+        except ValueError as error:
+            raise SystemExit(error.args[0])
+        tolerances[metric] = tolerance
+    return tolerances
+
+
+def _load_diff_operand(operand: str, args) -> Tuple[ResultSet, str]:
+    """Resolve one ``diff`` operand: saved run name, JSON path, or ``-``.
+
+    Saved-run names win over paths (a run is addressed the way ``ls``
+    printed it even if a same-named file exists); anything that is neither
+    exits with a one-line error.
+    """
+    if operand == "-":
+        payload = sys.stdin.read()
+        label = "stdin"
+    else:
+        store = RunStore(args.runs_dir)
+        if is_run_name(operand):
+            try:
+                return store.load(operand), operand
+            except ValueError as error:  # named, but fails its hash check
+                raise SystemExit(error.args[0])
+            except KeyError:
+                pass
+        if not os.path.exists(operand):
+            known = ", ".join(record.name for record in store.list()) or "(none)"
+            raise SystemExit(
+                f"{operand!r} is neither a saved run in {store.root} nor a "
+                f"result JSON file; saved runs: {known}")
+        with open(operand, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+        label = operand
+    try:
+        data = json.loads(payload)
+    except ValueError:
+        raise SystemExit(f"{label}: not valid JSON")
+    try:
+        if isinstance(data, list):  # results_to_json sweep output
+            return ResultSet.from_dict({"results": data}), label
+        return ResultSet.from_dict(data), label
+    except (KeyError, ValueError, TypeError):
+        raise SystemExit(f"{label}: not a ResultSet JSON document")
+
+
+def _run_diff_command(args) -> int:
+    if not args.name or not args.name2:
+        raise SystemExit("diff expects two runs: repro-run diff A B "
+                         "(saved run names, JSON paths, or '-' for stdin)")
+    if args.name == "-" and args.name2 == "-":
+        raise SystemExit("only one diff operand can read stdin")
+    tolerances = _parse_tolerances(args)
+    results_a, label_a = _load_diff_operand(args.name, args)
+    results_b, label_b = _load_diff_operand(args.name2, args)
+    report = diff_resultsets(results_a, results_b, tolerances=tolerances,
+                             a_label=label_a, b_label=label_b)
+    if not args.quiet:
+        table = report.table()
+        print(table.render() if len(table) else report.summary())
+    if args.json_out:
+        _emit_json(report.to_json(), args.json_out, args.quiet)
+    failures = report.ci_failures
+    if failures and not args.quiet:
+        for unit, delta in failures:
+            print(f"ci-overlap: {unit.display}.{delta.metric} "
+                  f"[{delta.a:.6g} vs {delta.b:.6g}] intervals are disjoint",
+                  file=sys.stderr)
+    if not report.identical:
+        return 1
+    if failures and args.strict_ci:
+        return 1
+    return 0
+
+
+def _run_gc_command(args) -> int:
+    if args.name:
+        raise SystemExit(f"gc takes no positional name (got {args.name!r}); "
+                         f"use --runs-dir to pick a store")
+    store = _store_for(args, required=True)
+    report = store.gc(dry_run=args.dry_run)
+    if not args.quiet:
+        removed = report.objects_removed + report.units_removed
+        for name in removed:
+            print(("would remove " if args.dry_run else "removed ") + name)
+        print(f"gc {store.root}: {report.summary()}")
+    return 0
+
+
+def _run_verify_command(args) -> int:
+    if args.name:
+        raise SystemExit(f"verify takes no positional name (got {args.name!r}); "
+                         f"use --runs-dir to pick a store")
+    store = _store_for(args, required=True)
+    problems = store.verify()
+    if not problems:
+        if not args.quiet:
+            print(f"verify {store.root}: all objects, records and units healthy")
+        return 0
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"verify {store.root}: {len(problems)} problem(s) found",
+          file=sys.stderr)
+    return 1
+
+
 def _run_ls_command(args) -> int:
     store = _store_for(args, required=True)
     records = store.list()
@@ -232,14 +370,18 @@ def _run_study_command(args) -> int:
     members = [label.strip() for label in args.members.split(",")] \
         if args.members else None
     store = _store_for(args)
+    # Only *compilation* (name lookup, member selection, dotted-path
+    # overrides) is a usage error worth a one-line exit; once the plan
+    # exists, an exception is a real bug and keeps its traceback.
     try:
-        results = run_study(study, seed=args.seed, replicates=args.replicates,
-                            members=members, member_overrides=member_overrides,
-                            backend=args.jobs, store=store,
-                            progress=args.progress)
-    except KeyError as error:
-        print(error.args[0], file=sys.stderr)
+        plan = compile_study(study, seed=args.seed,
+                             replicates=args.replicates, members=members,
+                             member_overrides=member_overrides)
+    except (KeyError, ValueError) as error:
+        print(error.args[0] if error.args else error, file=sys.stderr)
         return 2
+    results = execute_plan(plan, backend=args.jobs, store=store,
+                           progress=args.progress, resume=not args.no_resume)
 
     if not args.quiet:
         _print_resultset(results, compare_metrics=study.compare_metrics,
@@ -270,12 +412,23 @@ def _run_scenario_command(args, name: str, base_only: bool = False) -> int:
         overrides[path] = _parse_value(value)
     for assignment in args.sweeps:
         path, values = _parse_assignment(assignment, "--sweep")
+        if not values.strip():
+            raise SystemExit(f"--sweep expects PATH=V1,V2,..., got {assignment!r}")
         spec.sweeps[path] = [_parse_value(value) for value in values.split(",")]
 
     store = _store_for(args)
-    results = run_sweep(spec, overrides=overrides, seed=args.seed,
-                        replicates=args.replicates, backend=args.jobs,
-                        store=store, progress=args.progress)
+    # A bad --set/--sweep dotted path (unknown spec field, path through a
+    # non-dict) surfaces at plan compilation: one line on stderr, not a
+    # traceback.  Execution stays outside the try so a genuine adapter or
+    # engine failure is never masked as a usage error.
+    try:
+        plan = compile_sweep(spec, overrides=overrides, seed=args.seed,
+                             replicates=args.replicates)
+    except (KeyError, ValueError) as error:
+        print(error.args[0] if error.args else error, file=sys.stderr)
+        return 2
+    results = execute_plan(plan, backend=args.jobs, store=store,
+                           progress=args.progress, resume=not args.no_resume)
 
     if not args.quiet:
         for result in results:
@@ -304,8 +457,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "study | ls | show, or a bare registered "
                              "scenario name (implies 'sweep')")
     parser.add_argument("name", nargs="?", metavar="NAME",
-                        help="scenario name (run/sweep), study name (study) "
-                             "or saved run name (show)")
+                        help="scenario name (run/sweep), study name (study), "
+                             "saved run name (show), or diff's A side")
+    parser.add_argument("name2", nargs="?", metavar="B",
+                        help="diff's B side: saved run name, JSON path, or '-'")
     parser.add_argument("--list", action="store_true", help="list registered scenarios")
     parser.add_argument("--list-studies", action="store_true",
                         help="list registered cross-family studies")
@@ -327,6 +482,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save", metavar="NAME",
                         help="persist the ResultSet under NAME in the run "
                              "store and resume finished unit jobs from it")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-execute every unit job even when cached in "
+                             "the run store (fresh results overwrite the cache)")
+    parser.add_argument("--tol", dest="tolerances", action="append", default=[],
+                        metavar="METRIC=REL",
+                        help="diff tolerance for one metric ('*' for all; "
+                             "abs:X and rel:X,abs:Y forms; default exact)")
+    parser.add_argument("--strict-ci", action="store_true",
+                        help="make diff fail (exit 1) on CI-overlap failures "
+                             "instead of warning")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="gc: list unreachable objects/units without "
+                             "deleting anything")
     parser.add_argument("--runs-dir", metavar="PATH", default=None,
                         help="run-store directory (default: ./runs or "
                              "$REPRO_RUNS_DIR)")
@@ -345,11 +513,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         _list_scenarios()
         return 0 if args.list else 2
 
+    if args.command != "diff" and args.name2:
+        raise SystemExit(
+            f"unexpected extra argument {args.name2!r}; only diff takes two "
+            f"positional names"
+        )
+
     if args.command in COMMANDS:
         if args.command == "ls":
             return _run_ls_command(args)
         if args.command == "show":
             return _run_show_command(args)
+        if args.command == "diff":
+            return _run_diff_command(args)
+        if args.command == "gc":
+            return _run_gc_command(args)
+        if args.command == "verify":
+            return _run_verify_command(args)
         if args.command == "study":
             return _run_study_command(args)
         # run (base configuration only) / sweep (expand registered axes).

@@ -85,10 +85,18 @@ The same registry drives the command line (installed as ``repro-run``)::
     python -m repro.run study figure1 --save fig1-nightly
     python -m repro.run ls
     python -m repro.run show fig1-nightly
+    python -m repro.run diff fig1-nightly fig1-tonight --tol throughput_tps=0.05
+    python -m repro.run gc --dry-run
+    python -m repro.run verify
 
 Scenario and study results at a fixed seed are fully deterministic: two
 runs of the same spec produce byte-identical ``to_json()`` output, on
-every backend at any ``--jobs`` width.
+every backend at any ``--jobs`` width.  That determinism is *enforced*:
+every registered scenario and study has a committed trimmed golden under
+``tests/goldens/`` (see :mod:`repro.scenarios.goldens`, ``make
+goldens``) that the tier-1 suite diffs against at zero tolerance via
+:mod:`repro.analysis.diff`, and saved runs can be compared for drift
+with ``repro-run diff``.
 """
 
 from repro.analysis.resultset import ResultSet

@@ -285,6 +285,7 @@ def execute_plan(
     backend: Optional[Union[ExecutionBackend, int]] = None,
     store=None,
     progress: Optional[Union[bool, ProgressCallback]] = None,
+    resume: bool = True,
 ) -> ResultSet:
     """Run a plan on a backend and assemble the ResultSet.
 
@@ -293,8 +294,10 @@ def execute_plan(
     :class:`~repro.analysis.runstore.RunStore` used for spec-hash-based
     resume: unit jobs already recorded there are not re-executed, and
     freshly computed ones are recorded *as they finish*, so a killed or
-    interrupted run resumes from the last completed job.  ``progress`` is
-    a callback (or ``True`` for a stderr line per job).
+    interrupted run resumes from the last completed job.  ``resume=False``
+    (the CLI's ``--no-resume``) bypasses the cache *read*: every job
+    re-executes, and the fresh metrics overwrite whatever was cached.
+    ``progress`` is a callback (or ``True`` for a stderr line per job).
     """
     if not isinstance(backend, ExecutionBackend):
         backend = backend_for(backend)
@@ -303,7 +306,8 @@ def execute_plan(
     completed: Dict[str, Dict[str, float]] = {}
     on_result = None
     if store is not None:
-        completed = store.completed_units(plan.job_keys())
+        if resume:
+            completed = store.completed_units(plan.job_keys())
         on_result = store.put_unit
     if callback is not None and completed:
         callback(len(completed), len(plan.jobs), None)

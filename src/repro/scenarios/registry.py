@@ -75,6 +75,18 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="miner-propagation",
+    family="permissionless",
+    description="Miner count vs block propagation delay: gossip cost of a growing PoW network",
+    claim="E8",
+    architecture={"consensus": "pow", "protocol": "bitcoin",
+                  "miner_count": 8, "duration_blocks": 60},
+    workload={"kind": "payment", "rate_tps": 5.0},
+    seed=2,
+    sweeps={"architecture.miner_count": [5, 10, 20, 30]},
+))
+
+register(ScenarioSpec(
     name="pos-nothing-at-stake",
     family="permissionless",
     description="Naive chain-based PoS: rational validators vote on every fork",

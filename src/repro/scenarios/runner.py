@@ -98,10 +98,12 @@ def run_scenario(
     backend: Backend = None,
     store=None,
     progress=None,
+    resume: bool = True,
 ) -> ScenarioResult:
     """Run the base configuration of a scenario and aggregate its replicates."""
     plan = compile_scenario(scenario, overrides, seed, replicates)
-    return execute_plan(plan, backend=backend, store=store, progress=progress)[0]
+    return execute_plan(plan, backend=backend, store=store,
+                        progress=progress, resume=resume)[0]
 
 
 def run_sweep(
@@ -112,6 +114,7 @@ def run_sweep(
     backend: Backend = None,
     store=None,
     progress=None,
+    resume: bool = True,
 ) -> ResultSet:
     """Expand a spec's variants/sweeps and run every point, in order.
 
@@ -120,7 +123,8 @@ def run_sweep(
     filter/group/pivot/CI query surface).
     """
     plan = compile_sweep(scenario, overrides, seed, replicates)
-    return execute_plan(plan, backend=backend, store=store, progress=progress)
+    return execute_plan(plan, backend=backend, store=store,
+                        progress=progress, resume=resume)
 
 
 def sweep_metrics(results: Union[ResultSet, List[ScenarioResult]]) -> List[Dict[str, float]]:

@@ -272,6 +272,7 @@ def run_study(
     backend: Backend = None,
     store=None,
     progress=None,
+    resume: bool = True,
 ) -> ResultSet:
     """Run a study (or a subset of its members) into one ResultSet.
 
@@ -285,7 +286,8 @@ def run_study(
     """
     plan = compile_study(study, seed=seed, replicates=replicates,
                          members=members, member_overrides=member_overrides)
-    return execute_plan(plan, backend=backend, store=store, progress=progress)
+    return execute_plan(plan, backend=backend, store=store,
+                        progress=progress, resume=resume)
 
 
 # ----------------------------------------------------------------------

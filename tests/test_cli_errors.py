@@ -1,0 +1,128 @@
+"""repro-run error paths: one-line nonzero exits, never a traceback.
+
+Every case here either returns a nonzero exit code with a single
+explanatory line on stderr or raises ``SystemExit`` with a message (the
+argparse convention — the interpreter prints the message and exits
+nonzero).  An uncaught adapter/spec exception would surface as a plain
+Python exception and fail these tests, so passing means no traceback.
+"""
+
+import pytest
+
+from repro.run import main as run_main
+
+
+def one_line(text: str) -> bool:
+    return len(text.strip().splitlines()) == 1
+
+
+class TestUnknownNames:
+    def test_unknown_scenario(self, capsys):
+        assert run_main(["no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and one_line(err)
+
+    def test_unknown_scenario_via_run(self, capsys):
+        assert run_main(["run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_study(self, capsys):
+        assert run_main(["study", "no-such-study"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown study" in err and one_line(err)
+
+    def test_unknown_study_member(self, capsys):
+        assert run_main(["study", "figure1", "--set", "ghost.duration=1"]) == 2
+        assert "unknown member" in capsys.readouterr().err
+
+
+class TestMalformedOverrides:
+    def test_set_without_equals(self):
+        with pytest.raises(SystemExit, match="PATH=VALUE"):
+            run_main(["kad-lookup", "--set", "topology.size"])
+
+    def test_set_unknown_spec_field(self, capsys):
+        assert run_main(["kad-lookup", "--set", "nosuch.field=1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown spec field" in err and one_line(err)
+
+    def test_set_path_through_non_dict(self, capsys):
+        assert run_main(["kad-lookup", "--set", "seed.deeper=1"]) == 2
+        assert "not a dict" in capsys.readouterr().err
+
+    def test_study_set_without_member(self):
+        with pytest.raises(SystemExit, match="MEMBER.PATH=VALUE"):
+            run_main(["study", "figure1", "--set", "duration=1"])
+
+
+class TestMalformedSweeps:
+    def test_sweep_without_equals(self):
+        with pytest.raises(SystemExit, match="PATH=VALUE"):
+            run_main(["kad-lookup", "--sweep", "topology.size"])
+
+    def test_sweep_with_empty_values(self):
+        with pytest.raises(SystemExit, match="V1,V2"):
+            run_main(["kad-lookup", "--sweep", "topology.size="])
+
+    def test_sweep_bad_dotted_path(self, capsys):
+        assert run_main(["kad-lookup", "--sweep", "bogus.axis=1,2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown spec field" in err and one_line(err)
+
+    def test_sweep_on_study_rejected(self):
+        with pytest.raises(SystemExit, match="studies declare"):
+            run_main(["study", "figure1", "--sweep", "seed=1,2"])
+
+
+class TestStoreCommands:
+    def test_show_missing_run(self, tmp_path, capsys):
+        assert run_main(["show", "ghost", "--runs-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no saved run" in err and one_line(err)
+
+    def test_diff_needs_two_operands(self, tmp_path):
+        with pytest.raises(SystemExit, match="two runs"):
+            run_main(["diff", "only-one", "--runs-dir", str(tmp_path)])
+
+    def test_diff_missing_run(self, tmp_path):
+        with pytest.raises(SystemExit, match="neither a saved run"):
+            run_main(["diff", "ghost-a", "ghost-b",
+                      "--runs-dir", str(tmp_path)])
+
+    def test_diff_double_stdin_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="stdin"):
+            run_main(["diff", "-", "-", "--runs-dir", str(tmp_path)])
+
+    def test_diff_non_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            run_main(["diff", str(bad), str(bad),
+                      "--runs-dir", str(tmp_path)])
+
+    def test_bad_tolerance_flag(self, tmp_path):
+        with pytest.raises(SystemExit, match="--tol"):
+            run_main(["diff", "a", "b", "--tol", "tps",
+                      "--runs-dir", str(tmp_path)])
+
+    def test_gc_rejects_positional(self, tmp_path):
+        with pytest.raises(SystemExit, match="no positional"):
+            run_main(["gc", "extra", "--runs-dir", str(tmp_path)])
+
+    def test_verify_rejects_positional(self, tmp_path):
+        with pytest.raises(SystemExit, match="no positional"):
+            run_main(["verify", "extra", "--runs-dir", str(tmp_path)])
+
+
+class TestArgumentShape:
+    def test_extra_positional_for_non_diff(self):
+        with pytest.raises(SystemExit, match="only diff"):
+            run_main(["show", "name", "surplus"])
+
+    def test_bare_second_name_suggests_study(self):
+        with pytest.raises(SystemExit, match="did you mean"):
+            run_main(["figure1", "extra"])
+
+    def test_members_on_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="--members applies to studies"):
+            run_main(["kad-lookup", "--members", "a,b"])

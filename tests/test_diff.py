@@ -1,0 +1,260 @@
+"""repro.analysis.diff: structural/numeric ResultSet comparison + CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.diff import (
+    DiffReport,
+    Tolerance,
+    diff_resultsets,
+    parse_tolerance,
+    result_key,
+    tolerance_for,
+)
+from repro.analysis.resultset import ResultSet
+from repro.run import main as run_main
+from repro.scenarios.result import ReplicateResult, ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+
+def make_result(name="unit-a", seed=1, label="", replicates=None, **metrics):
+    """A ScenarioResult with a real (round-trippable) spec."""
+    spec = ScenarioSpec(name=name, family="overlay",
+                        topology={"size": 100}, seed=seed)
+    if replicates is None:
+        replicates = [ReplicateResult(seed=seed, metrics=dict(metrics))]
+    return ScenarioResult(scenario=name, family="overlay", label=label,
+                          spec=spec.to_dict(), replicates=replicates)
+
+
+class TestTolerance:
+    def test_default_is_exact(self):
+        assert Tolerance().allows(1.0, 1.0)
+        assert not Tolerance().allows(1.0, 1.0 + 1e-12)
+
+    def test_relative_and_absolute_terms(self):
+        assert Tolerance(rel=0.05).allows(100.0, 104.9)
+        assert not Tolerance(rel=0.05).allows(100.0, 105.1)
+        assert Tolerance(abs=0.5).allows(0.0, 0.4)
+        assert not Tolerance(abs=0.5).allows(0.0, 0.6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(rel=-0.1)
+
+    def test_parse_forms(self):
+        assert parse_tolerance("tps=0.05") == ("tps", Tolerance(rel=0.05))
+        assert parse_tolerance("lat=abs:0.002") == ("lat", Tolerance(abs=0.002))
+        assert parse_tolerance("x=rel:0.1,abs:1e-6") == (
+            "x", Tolerance(rel=0.1, abs=1e-6))
+        assert parse_tolerance("*=0.2")[0] == "*"
+
+    @pytest.mark.parametrize("bad", ["tps", "tps=", "=0.1", "tps=fast",
+                                     "tps=pct:0.1"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_tolerance(bad)
+
+    def test_lookup_precedence(self):
+        table = {"tps": Tolerance(rel=0.1), "*": Tolerance(rel=0.5)}
+        assert tolerance_for("tps", table).rel == 0.1
+        assert tolerance_for("other", table).rel == 0.5
+        assert tolerance_for("other", {}) == Tolerance()
+
+
+class TestStructuralDiff:
+    def test_identical_sets(self):
+        a = ResultSet([make_result(tps=5.0)])
+        b = ResultSet([make_result(tps=5.0)])
+        report = diff_resultsets(a, b)
+        assert report.identical
+        assert [unit.status for unit in report.units] == ["unchanged"]
+        assert "identical" in report.summary()
+
+    def test_changed_metric_detected_and_tolerance_respected(self):
+        a = ResultSet([make_result(tps=100.0)])
+        b = ResultSet([make_result(tps=104.0)])
+        drifted = diff_resultsets(a, b)
+        assert not drifted.identical
+        (delta,) = drifted.changed[0].changed_metrics
+        assert delta.metric == "tps"
+        assert delta.abs_delta == pytest.approx(4.0)
+        assert delta.rel_delta == pytest.approx(0.04)
+        within = diff_resultsets(a, b, tolerances={"tps": Tolerance(rel=0.05)})
+        assert within.identical
+
+    def test_added_and_removed_units(self):
+        a = ResultSet([make_result("only-a", tps=1.0),
+                       make_result("both", tps=2.0)])
+        b = ResultSet([make_result("both", tps=2.0),
+                       make_result("only-b", tps=3.0)])
+        report = diff_resultsets(a, b)
+        assert [unit.scenario for unit in report.removed] == ["only-a"]
+        assert [unit.scenario for unit in report.added] == ["only-b"]
+        assert [unit.scenario for unit in report.unchanged] == ["both"]
+
+    def test_seed_flip_reports_exactly_the_affected_unit_as_changed(self):
+        a = ResultSet([make_result("x", seed=1, tps=5.0),
+                       make_result("y", seed=1, tps=7.0)])
+        b = ResultSet([make_result("x", seed=1, tps=5.0),
+                       make_result("y", seed=2, tps=7.3)])
+        report = diff_resultsets(a, b)
+        assert not report.added and not report.removed
+        assert [unit.scenario for unit in report.changed] == ["y"]
+        assert report.changed[0].spec_changed
+        assert "->" in report.changed[0].key
+
+    def test_metric_set_drift_is_a_change(self):
+        a = ResultSet([make_result(tps=1.0, extra=2.0)])
+        b = ResultSet([make_result(tps=1.0)])
+        report = diff_resultsets(a, b)
+        assert report.changed[0].metrics_only_in_a == ["extra"]
+
+    def test_reproduced_nan_is_not_drift(self):
+        a = ResultSet([make_result(tps=float("nan"))])
+        b = ResultSet([make_result(tps=float("nan"))])
+        assert diff_resultsets(a, b).identical
+
+    def test_zero_baseline_rel_delta_is_none(self):
+        a = ResultSet([make_result(tps=0.0)])
+        b = ResultSet([make_result(tps=1.0)])
+        (delta,) = diff_resultsets(a, b).changed[0].changed_metrics
+        assert delta.rel_delta is None
+
+    def test_foreign_specs_fall_back_to_raw_hash(self):
+        foreign = ScenarioResult(
+            scenario="alien", family="overlay", label="",
+            spec={"not": "a-scenario-spec"},
+            replicates=[ReplicateResult(seed=0, metrics={"m": 1.0})])
+        key = result_key(foreign)
+        assert len(key) == 16
+        report = diff_resultsets(ResultSet([foreign]), ResultSet([foreign]))
+        assert report.identical
+
+
+class TestCiOverlap:
+    def _replicated(self, values):
+        return make_result(replicates=[
+            ReplicateResult(seed=i, metrics={"tps": value})
+            for i, value in enumerate(values)])
+
+    def test_disjoint_intervals_flagged(self):
+        a = ResultSet([self._replicated([10.0, 10.1, 10.2])])
+        b = ResultSet([self._replicated([20.0, 20.1, 20.2])])
+        report = diff_resultsets(a, b,
+                                 tolerances={"*": Tolerance(rel=10.0)})
+        assert report.identical  # tolerance swallows the mean drift...
+        assert len(report.ci_failures) == 1  # ...but the CIs are disjoint
+        ((unit, delta),) = report.ci_failures
+        assert delta.ci_overlap is False
+
+    def test_overlapping_intervals_pass(self):
+        a = ResultSet([self._replicated([10.0, 12.0, 14.0])])
+        b = ResultSet([self._replicated([11.0, 13.0, 15.0])])
+        report = diff_resultsets(a, b, tolerances={"*": Tolerance(rel=10.0)})
+        assert report.ci_failures == []
+        assert report.units[0].deltas[0].ci_overlap is True
+
+    def test_single_replicate_has_no_verdict(self):
+        a = ResultSet([make_result(tps=1.0)])
+        b = ResultSet([make_result(tps=1.0)])
+        assert diff_resultsets(a, b).units[0].deltas[0].ci_overlap is None
+
+
+class TestReport:
+    def test_json_round_trip_and_schema(self):
+        a = ResultSet([make_result("x", tps=1.0)])
+        b = ResultSet([make_result("y", tps=2.0)])
+        report = diff_resultsets(a, b, tolerances={"tps": Tolerance(rel=0.1)},
+                                 a_label="left", b_label="right")
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == "diffreport/v1"
+        assert doc["a"] == "left" and doc["b"] == "right"
+        assert doc["summary"]["added"] == 1
+        assert doc["summary"]["removed"] == 1
+        assert doc["tolerances"]["tps"] == {"rel": 0.1, "abs": 0.0}
+        assert report.to_json() == report.to_json()
+
+    def test_table_lists_drift(self):
+        a = ResultSet([make_result(tps=1.0)])
+        b = ResultSet([make_result(tps=2.0)])
+        rendered = diff_resultsets(a, b).table().render()
+        assert "tps" in rendered and "DRIFT" in rendered
+
+
+class TestCliDiff:
+    """The acceptance path: trimmed figure1 saved twice, then a seed flip."""
+
+    FIGURE1 = ["study", "figure1", "--quiet", "--members", "bitcoin,pbft",
+               "--set", "bitcoin.architecture.duration_blocks=12",
+               "--set", "pbft.duration=0.5"]
+
+    def save(self, tmp_path, name, *extra):
+        argv = self.FIGURE1 + list(extra) + ["--runs-dir", str(tmp_path),
+                                             "--save", name]
+        assert run_main(argv) == 0
+
+    def test_same_seed_runs_diff_clean(self, tmp_path, capsys):
+        self.save(tmp_path, "night-1")
+        self.save(tmp_path, "night-2")
+        assert run_main(["diff", "night-1", "night-2",
+                         "--runs-dir", str(tmp_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_member_seed_flip_reports_exactly_that_member(self, tmp_path, capsys):
+        self.save(tmp_path, "base")
+        self.save(tmp_path, "flipped", "--set", "bitcoin.seed=9")
+        code = run_main(["diff", "base", "flipped", "--quiet",
+                         "--json", str(tmp_path / "report.json"),
+                         "--runs-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert code == 1
+        doc = json.loads((tmp_path / "report.json").read_text())
+        changed = [unit for unit in doc["units"]
+                   if unit["status"] == "changed"]
+        assert [unit["label"] for unit in changed] == ["bitcoin"]
+        assert changed[0]["spec_changed"] is True
+        assert doc["summary"]["added"] == 0
+        assert doc["summary"]["removed"] == 0
+        unchanged = [unit["label"] for unit in doc["units"]
+                     if unit["status"] == "unchanged"]
+        assert unchanged == ["pbft"]
+
+    def test_file_and_stdin_operands(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        payload_a = ResultSet([make_result(tps=10.0)]).to_json()
+        payload_b = ResultSet([make_result(tps=10.4)]).to_json()
+        file_a = tmp_path / "a.json"
+        file_a.write_text(payload_a)
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload_b))
+        assert run_main(["diff", str(file_a), "-", "--quiet",
+                         "--runs-dir", str(tmp_path / "store")]) == 1
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload_b))
+        assert run_main(["diff", str(file_a), "-", "--quiet",
+                         "--tol", "*=0.05",
+                         "--runs-dir", str(tmp_path / "store")]) == 0
+
+    def test_strict_ci_escalates_warnings(self, tmp_path):
+        def replicated(values):
+            return make_result(replicates=[
+                ReplicateResult(seed=i, metrics={"tps": value})
+                for i, value in enumerate(values)])
+
+        file_a = tmp_path / "a.json"
+        file_b = tmp_path / "b.json"
+        file_a.write_text(ResultSet([replicated([10.0, 10.1, 10.2])]).to_json())
+        file_b.write_text(ResultSet([replicated([20.0, 20.1, 20.2])]).to_json())
+        argv = ["diff", str(file_a), str(file_b), "--quiet",
+                "--tol", "*=10.0", "--runs-dir", str(tmp_path / "store")]
+        assert run_main(argv) == 0  # warn-only by default
+        assert run_main(argv + ["--strict-ci"]) == 1
+
+    def test_sweep_list_json_accepted(self, tmp_path):
+        results = [make_result(tps=1.0).to_dict()]
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps(results))
+        assert run_main(["diff", str(path), str(path), "--quiet",
+                         "--runs-dir", str(tmp_path / "store")]) == 0
