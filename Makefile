@@ -1,6 +1,6 @@
 PY := python
 
-.PHONY: test bench bench-update experiments goldens smoke
+.PHONY: test bench bench-update experiments goldens smoke chaos
 
 # Tier-1 gate.  Includes the golden-corpus test (tests/test_goldens.py):
 # every registered scenario and study re-runs trimmed at its fixed seed and
@@ -27,6 +27,20 @@ experiments:
 # a rendered drift table until this is done.
 goldens:
 	PYTHONPATH=src $(PY) -m repro.scenarios.goldens
+
+# Fault-tolerance gate: the scripted crash/retry/degrade suite, then the
+# trimmed figure1 study on the --jobs 2 pool with every unit job's worker
+# killed on its first attempt — supervision must retry, complete, and save
+# a run whose failure manifest is empty (byte-identical to the fault-free
+# golden by construction; asserted by the CI chaos job).
+chaos:
+	PYTHONPATH=src $(PY) -m pytest tests/test_fault_tolerance.py -q
+	REPRO_FAULT_PLAN='{"faults": [{"match": "", "attempts": [1], "action": "kill"}]}' \
+	PYTHONPATH=src $(PY) -m repro.run study figure1 --quiet --jobs 2 \
+	  --retries 2 --keep-going --save chaos-fig1 \
+	  --set bitcoin.architecture.duration_blocks=15 \
+	  --set ethereum.architecture.duration_blocks=45 \
+	  --set pbft.duration=1.0 --set fabric.duration=1.0 --set edge.duration=1.0
 
 # Fast end-to-end smoke of the scenario runner: one trimmed scenario per
 # architecture family plus the trimmed figure1 cross-family study — once

@@ -2,8 +2,9 @@
 
 Measures the core microbenchmarks (see :mod:`benchmarks.perf_core`) plus
 the execution-layer sweep workload (serial vs ``--jobs 4`` process-pool
-wall clock over a 4-point scenario sweep) and maintains
-``BENCH_core.json`` at the repository root:
+wall clock over a 4-point scenario sweep, and the serial sweep again
+under an active ``JobPolicy`` to bound supervision overhead) and
+maintains ``BENCH_core.json`` at the repository root:
 
 ``python -m benchmarks.perf_report``
     Measure and compare against the committed baseline.  Exits non-zero if
@@ -73,7 +74,18 @@ WORKLOAD_NOTES = {
         "Serial over --jobs 4 wall clock for the sweep workload; bounded "
         "by host core count (a 1-core host shows <1.0)"
     ),
+    "sweep_points_per_sec_supervised": (
+        "Same serial sweep under an active JobPolicy (retries + timeout + "
+        "keep_going); guards that the supervision plumbing stays off the "
+        "hot path (<5% below the plain serial rate fails the check)"
+    ),
 }
+
+#: Supervised serial throughput may not drop more than this fraction below
+#: the plain serial rate measured in the same process (same-host, same-run
+#: comparison, so the guard is meaningful even though the committed
+#: absolute numbers are host-dependent).
+SUPERVISION_OVERHEAD_TOLERANCE = 0.05
 
 #: The execution-layer sweep workload: CPU-bound, deterministic, 4 points
 #: of roughly half a second each, so pool startup is amortised and a
@@ -97,17 +109,24 @@ def sweep_rates(jobs: int = 4) -> Dict[str, float]:
 
     from repro.scenarios import ProcessPoolBackend, SerialBackend, run_sweep
 
+    from repro.scenarios import JobPolicy
+
+    supervised = JobPolicy(max_retries=2, timeout_s=600.0, keep_going=True)
     timings = {}
-    for key, backend in (("serial", SerialBackend()),
-                         (f"jobs{jobs}", ProcessPoolBackend(jobs))):
+    for key, backend, policy in (
+            ("serial", SerialBackend(), None),
+            (f"jobs{jobs}", ProcessPoolBackend(jobs), None),
+            ("supervised", SerialBackend(), supervised)):
         start = time.perf_counter()
-        results = run_sweep(_sweep_spec(), backend=backend)
+        results = run_sweep(_sweep_spec(), backend=backend, policy=policy)
         timings[key] = time.perf_counter() - start
         assert len(results) == len(SWEEP_POINTS)
     return {
         "sweep_points_per_sec_serial": len(SWEEP_POINTS) / timings["serial"],
         f"sweep_points_per_sec_jobs{jobs}": len(SWEEP_POINTS) / timings[f"jobs{jobs}"],
         f"sweep_parallel_speedup_x{jobs}": timings["serial"] / timings[f"jobs{jobs}"],
+        "sweep_points_per_sec_supervised":
+            len(SWEEP_POINTS) / timings["supervised"],
     }
 
 
@@ -152,6 +171,19 @@ def check(results: Dict[str, float], baseline: Dict) -> int:
             f"{key:28s} {fresh:12.0f} vs baseline {reference:12.0f} "
             f"({change:+.1%}) {marker}"
         )
+    # Supervision-overhead guard: compares two rates measured in THIS run
+    # (not against the committed file), so it is host-independent.
+    plain = results.get("sweep_points_per_sec_serial")
+    supervised = results.get("sweep_points_per_sec_supervised")
+    if plain and supervised:
+        overhead = 1.0 - supervised / plain
+        marker = "ok"
+        if overhead > SUPERVISION_OVERHEAD_TOLERANCE:
+            marker = "FAIL"
+            status = 1
+        print(f"{'supervision_overhead':28s} {overhead:+12.1%} of the serial "
+              f"sweep rate (tolerance {SUPERVISION_OVERHEAD_TOLERANCE:.0%}) "
+              f"{marker}")
     return status
 
 

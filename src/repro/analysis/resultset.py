@@ -85,10 +85,17 @@ class ResultSet:
     """An ordered, immutable collection of :class:`ScenarioResult` objects."""
 
     def __init__(self, results: Iterable = (), name: str = "",
-                 description: str = "") -> None:
+                 description: str = "",
+                 failures: Optional[Iterable[Mapping]] = None) -> None:
         self._results: List = list(results)
         self.name = name
         self.description = description
+        #: Failure manifest: one plain dict per unit job that exhausted its
+        #: retry budget (see ``JobFailure.to_dict``), in plan order.  Empty
+        #: for a complete run — and omitted from ``to_dict`` when empty, so
+        #: fault-free serialisations are unchanged.
+        self.failures: List[Dict[str, object]] = [dict(entry)
+                                                  for entry in failures or ()]
 
     # ------------------------------------------------------------------
     # Sequence behaviour
@@ -105,7 +112,8 @@ class ResultSet:
     def __add__(self, other: "ResultSet") -> "ResultSet":
         """Concatenate two result sets (keeps the left-hand name)."""
         return ResultSet(list(self._results) + list(other),
-                         name=self.name, description=self.description)
+                         name=self.name, description=self.description,
+                         failures=self.failures + getattr(other, "failures", []))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ResultSet(name={self.name!r}, results={len(self._results)})"
@@ -322,11 +330,14 @@ class ResultSet:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """Plain JSON-serialisable representation (deterministic ordering)."""
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "description": self.description,
             "results": [result.to_dict() for result in self._results],
         }
+        if self.failures:
+            payload["failures"] = [dict(entry) for entry in self.failures]
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Deterministic JSON rendering of :meth:`to_dict`."""
@@ -341,6 +352,7 @@ class ResultSet:
             [ScenarioResult.from_dict(entry) for entry in data.get("results", [])],
             name=str(data.get("name", "")),
             description=str(data.get("description", "")),
+            failures=data.get("failures") or (),
         )
 
     @classmethod

@@ -97,6 +97,8 @@ class RunRecord:
     labels: List[str]
     resultset_name: str
     saved_at: str
+    #: Unit jobs in the saved ResultSet's failure manifest (0 = complete).
+    failures: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -107,6 +109,7 @@ class RunRecord:
             "labels": list(self.labels),
             "resultset_name": self.resultset_name,
             "saved_at": self.saved_at,
+            "failures": self.failures,
         }
 
     @classmethod
@@ -118,6 +121,7 @@ class RunRecord:
             labels=[str(label) for label in data.get("labels", [])],
             resultset_name=str(data.get("resultset_name", "")),
             saved_at=str(data.get("saved_at", "")),
+            failures=int(data.get("failures", 0)),
         )
 
 
@@ -160,6 +164,10 @@ class RunStore:
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else default_runs_dir()
+        # A crashed run can strand the temp half of an atomic unit write;
+        # sweeping stale ones on open keeps the cache clean without
+        # waiting for an explicit gc.
+        self.sweep_tmp()
 
     # -- layout --------------------------------------------------------
     @property
@@ -202,6 +210,7 @@ class RunStore:
             labels=results.labels(),
             resultset_name=results.name,
             saved_at=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+            failures=len(getattr(results, "failures", None) or ()),
         )
         self.named_dir.mkdir(parents=True, exist_ok=True)
         path.write_text(
@@ -294,6 +303,33 @@ class RunStore:
                 completed[key] = metrics
         return completed
 
+    def sweep_tmp(self, older_than_s: float = TMP_SWEEP_AGE_S,
+                  dry_run: bool = False) -> List[str]:
+        """Remove orphaned ``.tmp`` halves of interrupted unit writes.
+
+        Only files older than ``older_than_s`` are touched — a younger
+        one may be the in-flight half of a *concurrent* run's atomic
+        write.  Runs on store open and during :meth:`gc`; returns the
+        file names removed (or that would be, under ``dry_run``).
+        """
+        if not self.units_dir.is_dir():
+            return []
+        removed: List[str] = []
+        cutoff = time.time() - older_than_s
+        for path in sorted(self.units_dir.glob("*.tmp")):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+            except OSError:  # renamed/removed underneath us: not ours
+                continue
+            removed.append(path.name)
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    removed.pop()
+        return removed
+
     # -- lifecycle: reachability, gc, verify ---------------------------
     def reachable(self) -> Tuple[Set[str], Set[str]]:
         """``(object hashes, unit keys)`` reachable from ``named/``.
@@ -358,16 +394,7 @@ class RunStore:
                     report.units_removed.append(path.stem)
                     if not dry_run:
                         path.unlink()
-            cutoff = time.time() - TMP_SWEEP_AGE_S
-            for path in sorted(self.units_dir.glob("*.tmp")):
-                try:
-                    if path.stat().st_mtime > cutoff:
-                        continue
-                except OSError:  # renamed/removed underneath us: not ours
-                    continue
-                report.units_removed.append(path.name)
-                if not dry_run:
-                    path.unlink()
+            report.units_removed.extend(self.sweep_tmp(dry_run=dry_run))
         return report
 
     def verify(self) -> List[StoreProblem]:

@@ -55,6 +55,16 @@ persists the ResultSet into the run store (``runs/`` by default;
 resume: unit jobs already recorded in the store are skipped on re-run.
 ``repro-run ls`` lists saved runs and ``repro-run show NAME`` reloads one.
 
+``--retries N``/``--job-timeout S``/``--keep-going`` supervise the unit
+jobs: a failed or timed-out job is retried up to N extra times (with
+deterministic exponential backoff), and under ``--keep-going`` a job that
+exhausts its budget is recorded in the saved ResultSet's failure manifest
+instead of aborting the run — the partial results are printed/saved, a
+failure table goes to stderr, and the process exits 3.  Because failed
+jobs never enter the unit cache, re-running the same ``--save`` command
+executes only the failed units.  Exit codes: 0 success, 1 drift
+(``diff``), 2 usage error, 3 partial failure.
+
 ``--set``/``--sweep`` values are parsed as JSON where possible (``none`` →
 null), so ``--set churn=none`` and ``--set 'churn={"mean_session": 600}'``
 both work.  For studies, ``--set`` takes ``MEMBER.PATH=VALUE`` where
@@ -78,6 +88,8 @@ from repro.analysis.tables import ResultTable
 from repro.scenarios import (
     SCENARIOS,
     STUDIES,
+    JobExecutionError,
+    JobPolicy,
     compile_study,
     compile_sweep,
     execute_plan,
@@ -90,6 +102,12 @@ from repro.scenarios import (
 
 #: First positional arguments that are commands rather than scenario names.
 COMMANDS = ("run", "sweep", "study", "ls", "show", "diff", "gc", "verify")
+
+#: Exit codes (documented in the module docstring and --help epilog).
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
 
 EPILOG = """\
 examples:
@@ -106,6 +124,12 @@ examples:
   repro-run study figure1 --save redo --no-resume  re-execute cached unit jobs
   repro-run gc --dry-run                         list unreachable objects/units
   repro-run verify                               re-hash every stored object
+  repro-run study figure1 --jobs 4 --retries 2   retry failed/crashed unit jobs
+  repro-run sweep kad-lookup --job-timeout 60    kill unit jobs stuck past 60s
+  repro-run study figure1 --retries 1 --keep-going --save partial
+                                                 collect failures, exit 3, save
+                                                 the rest; rerun retries only
+                                                 the failed units
 """
 
 
@@ -181,6 +205,42 @@ def _save_results(store: Optional[RunStore], results, args) -> None:
         print(f"\nsaved run {record.name!r} "
               f"({record.results} results, object {record.object_hash[:12]}) "
               f"under {store.root}")
+
+
+def _policy_from_args(args) -> Optional[JobPolicy]:
+    """A JobPolicy when any supervision flag is set, else None.
+
+    ``None`` keeps the historical zero-overhead execution path: no retry
+    bookkeeping, failures abort with their original traceback.
+    """
+    if not (args.retries or args.job_timeout is not None or args.keep_going):
+        return None
+    if args.retries < 0:
+        raise SystemExit(f"--retries expects a non-negative count, "
+                         f"got {args.retries}")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        raise SystemExit(f"--job-timeout expects a positive number of "
+                         f"seconds, got {args.job_timeout:g}")
+    return JobPolicy(max_retries=args.retries, timeout_s=args.job_timeout,
+                     keep_going=args.keep_going)
+
+
+def _report_failures(results, args) -> int:
+    """Render the failure manifest to stderr; the command's exit code."""
+    if not getattr(results, "failures", None):
+        return EXIT_OK
+    table = ResultTable(
+        ["scenario", "label", "kind", "attempts", "error"],
+        title=f"{len(results.failures)} unit job(s) failed after retries")
+    for entry in results.failures:
+        table.add_row(entry.get("scenario", "-"), entry.get("label", "-"),
+                      entry.get("kind", "-"), entry.get("attempts", "-"),
+                      entry.get("error", "-"))
+    print("\n" + table.render(), file=sys.stderr)
+    print(f"partial run: {len(results)} result(s) assembled, "
+          f"{len(results.failures)} unit job(s) failed (exit {EXIT_PARTIAL}); "
+          f"a rerun re-executes only the failed units", file=sys.stderr)
+    return EXIT_PARTIAL
 
 
 def _print_resultset(results, compare_metrics=None, title=None) -> None:
@@ -380,8 +440,14 @@ def _run_study_command(args) -> int:
     except (KeyError, ValueError) as error:
         print(error.args[0] if error.args else error, file=sys.stderr)
         return 2
-    results = execute_plan(plan, backend=args.jobs, store=store,
-                           progress=args.progress, resume=not args.no_resume)
+    try:
+        results = execute_plan(plan, backend=args.jobs, store=store,
+                               progress=args.progress,
+                               resume=not args.no_resume,
+                               policy=_policy_from_args(args))
+    except JobExecutionError as error:
+        print(error.args[0], file=sys.stderr)
+        return EXIT_PARTIAL
 
     if not args.quiet:
         _print_resultset(results, compare_metrics=study.compare_metrics,
@@ -389,7 +455,7 @@ def _run_study_command(args) -> int:
     _save_results(store, results, args)
     if args.json_out:
         _emit_json(results.to_json(), args.json_out, args.quiet)
-    return 0
+    return _report_failures(results, args)
 
 
 def _run_scenario_command(args, name: str, base_only: bool = False) -> int:
@@ -427,8 +493,14 @@ def _run_scenario_command(args, name: str, base_only: bool = False) -> int:
     except (KeyError, ValueError) as error:
         print(error.args[0] if error.args else error, file=sys.stderr)
         return 2
-    results = execute_plan(plan, backend=args.jobs, store=store,
-                           progress=args.progress, resume=not args.no_resume)
+    try:
+        results = execute_plan(plan, backend=args.jobs, store=store,
+                               progress=args.progress,
+                               resume=not args.no_resume,
+                               policy=_policy_from_args(args))
+    except JobExecutionError as error:
+        print(error.args[0], file=sys.stderr)
+        return EXIT_PARTIAL
 
     if not args.quiet:
         for result in results:
@@ -437,12 +509,15 @@ def _run_scenario_command(args, name: str, base_only: bool = False) -> int:
     _save_results(store, results, args)
 
     if args.json_out:
+        # NOTE: the scenario-path JSON shapes (single result object /
+        # bare result list) predate the failure manifest and cannot
+        # carry it; study output (a full ResultSet document) does.
         if len(results) == 1:
             payload = results[0].to_json()
         else:
             payload = results_to_json(results.results)
         _emit_json(payload, args.json_out, args.quiet)
-    return 0
+    return _report_failures(results, args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -485,6 +560,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-resume", action="store_true",
                         help="re-execute every unit job even when cached in "
                              "the run store (fresh results overwrite the cache)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry a failed/crashed unit job up to N extra "
+                             "times with deterministic exponential backoff "
+                             "(default: 0, fail fast)")
+    parser.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                        help="per-unit-job wall-clock budget in seconds; a "
+                             "job past it counts as failed (and is retried "
+                             "under --retries)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="do not abort when a unit job exhausts its "
+                             "retries: assemble the remaining results, list "
+                             "the failures, and exit 3")
     parser.add_argument("--tol", dest="tolerances", action="append", default=[],
                         metavar="METRIC=REL",
                         help="diff tolerance for one metric ('*' for all; "

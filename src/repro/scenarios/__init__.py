@@ -66,6 +66,25 @@ byte-identical to the serial run::
     print(len(plan.jobs), "unit jobs")
     results = execute_plan(plan, backend=ProcessPoolBackend(4))
 
+Execution is also *supervised* on request: a :class:`JobPolicy` adds
+per-job retries with deterministic backoff, wall-clock timeouts and
+graceful degradation (``keep_going`` collects jobs that exhaust their
+budget into the ResultSet's ``failures`` manifest instead of aborting),
+and :class:`ProcessPoolBackend` detects crashed or hung workers, respawns
+the pool and requeues only the lost jobs — retried jobs re-run the same
+seed-pinned unit, so output stays byte-identical at any retry count::
+
+    results = run_study("figure1", backend=4,
+                        policy=JobPolicy(max_retries=2, timeout_s=120.0,
+                                         keep_going=True))
+    for entry in results.failures:      # empty on a complete run
+        print(entry["key"], entry["kind"], entry["error"])
+
+:mod:`repro.scenarios.faults` scripts deterministic failures (raise,
+hang, worker kill, torn cache write) against chosen job keys and
+attempts — :class:`FaultInjectingBackend` and the ``REPRO_FAULT_PLAN``
+environment hook — so the supervision layer is itself testable.
+
 ResultSets persist in a :class:`~repro.analysis.runstore.RunStore`
 (named, content-addressed, under ``runs/``), which also caches finished
 unit jobs so interrupted or re-run grids resume instead of recomputing::
@@ -104,12 +123,24 @@ from repro.analysis.runstore import RunRecord, RunStore
 from repro.scenarios.execution import (
     ExecutionBackend,
     ExecutionPlan,
+    IncompletePlanError,
+    JobExecutionError,
+    JobFailure,
+    JobPolicy,
+    JobTimeoutError,
     ProcessPoolBackend,
     ResultSlot,
     SerialBackend,
     UnitJob,
     backend_for,
     execute_plan,
+)
+from repro.scenarios.faults import (
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    TornWriteStore,
 )
 from repro.scenarios.adapters import (
     ADAPTERS,
@@ -151,6 +182,15 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionPlan",
     "FAMILIES",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "FaultSpec",
+    "IncompletePlanError",
+    "InjectedFault",
+    "JobExecutionError",
+    "JobFailure",
+    "JobPolicy",
+    "JobTimeoutError",
     "OverlayAdapter",
     "PermissionedAdapter",
     "PermissionlessAdapter",
@@ -167,6 +207,7 @@ __all__ = [
     "SerialBackend",
     "StudyMember",
     "StudySpec",
+    "TornWriteStore",
     "UnitJob",
     "adapter_for",
     "backend_for",

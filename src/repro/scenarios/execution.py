@@ -29,12 +29,37 @@ processes, which gives three properties for free:
 Adapters are pure functions of ``(spec, seed)`` (all randomness flows from
 :class:`~repro.sim.rng.SeededRNG`), which is what makes the fan-out safe:
 a unit job computes the same metrics in any process, on any backend.
+
+Fault tolerance
+---------------
+Execution is supervised when a :class:`JobPolicy` is passed (the default
+``None`` keeps the historical zero-overhead fast path): a failed, hung or
+crashed unit job is retried up to ``max_retries`` times with exponential
+backoff (jitter is derived deterministically from the job key and attempt
+number, never from wall clock), each attempt is bounded by an optional
+per-job wall-clock ``timeout_s``, and :class:`ProcessPoolBackend` detects
+dead workers (``BrokenProcessPool``) and hung workers (timeout watchdog),
+respawns the pool and requeues only the lost job keys.  Because a unit job
+is a pure function of ``(spec, seed)``, a retried job recomputes the exact
+same metrics, so success output is byte-identical at any retry count.
+
+A job that exhausts its retries either aborts the run
+(:class:`JobExecutionError`, the ``keep_going=False`` default) or — under
+``keep_going=True`` — degrades gracefully: the job is recorded as a
+:class:`JobFailure` and :meth:`ExecutionPlan.assemble` emits a *partial*
+:class:`~repro.analysis.resultset.ResultSet` whose ``failures`` manifest
+names every failed job (key, error, kind, attempts, elapsed); result slots
+touched by a failure are omitted entirely rather than aggregated over a
+silently shrunken replicate sample.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import sys
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
@@ -46,6 +71,158 @@ from repro.scenarios.spec import ScenarioSpec
 #: Progress callback: ``(completed_jobs, total_jobs, job)``; ``job`` is
 #: ``None`` for the final "plan done" tick.
 ProgressCallback = Callable[[int, int, Optional["UnitJob"]], None]
+
+#: Environment variable holding a serialized fault plan (see
+#: :mod:`repro.scenarios.faults`).  Checked once per unit job; when unset —
+#: the production case — the cost is a single dict lookup.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+# ----------------------------------------------------------------------
+# Supervision: policies, failures, errors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobPolicy:
+    """How the backends supervise unit jobs.
+
+    ``max_retries`` extra attempts are allowed per job (so a job runs at
+    most ``max_retries + 1`` times).  Between attempts the backend waits
+    an exponential backoff ``backoff_base_s * backoff_factor**(attempt-1)``
+    capped at ``backoff_max_s``, stretched by up to ``backoff_jitter``
+    fractional jitter that is derived *deterministically* from the job key
+    and attempt number — two runs of the same plan back off identically.
+    ``timeout_s`` bounds each attempt's wall clock (a job past it counts
+    as failed and consumes retry budget).  ``keep_going`` selects graceful
+    degradation over fail-fast once retries are exhausted: the job becomes
+    a :class:`JobFailure` in the plan's failure manifest instead of
+    aborting the run.
+    """
+
+    max_retries: int = 0
+    timeout_s: Optional[float] = None
+    keep_going: bool = False
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    backoff_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0 \
+                or self.backoff_jitter < 0:
+            raise ValueError("backoff parameters cannot be negative")
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy changes anything over the bare fast path."""
+        return bool(self.max_retries or self.timeout_s or self.keep_going)
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts allowed per job."""
+        return self.max_retries + 1
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait after a failed ``attempt`` (1-based) of ``key``.
+
+        Deterministic: the jitter fraction comes from a sha256 of
+        ``(key, attempt)``, not from wall clock or a shared RNG, so the
+        schedule is reproducible across processes and runs.
+        """
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** (attempt - 1))
+        if base <= 0.0 or self.backoff_jitter <= 0.0:
+            return max(base, 0.0)
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return base * (1.0 + self.backoff_jitter * unit)
+
+
+@dataclass
+class JobFailure:
+    """One unit job that exhausted its retry budget.
+
+    ``kind`` is ``exception`` (the adapter raised), ``timeout`` (an attempt
+    exceeded the policy's wall-clock budget) or ``worker-crash`` (the pool
+    worker running it died).  ``attempts`` counts every attempt made and
+    ``elapsed_s`` the wall clock spent on this job across all of them.
+    """
+
+    key: str
+    scenario: str
+    seed: int
+    kind: str
+    error: str
+    attempts: int
+    elapsed_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobFailure":
+        return cls(
+            key=str(data["key"]),
+            scenario=str(data.get("scenario", "")),
+            seed=int(data.get("seed", 0)),
+            kind=str(data.get("kind", "exception")),
+            error=str(data.get("error", "")),
+            attempts=int(data.get("attempts", 1)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+class JobTimeoutError(RuntimeError):
+    """A unit-job attempt exceeded the policy's wall-clock budget."""
+
+
+class JobExecutionError(RuntimeError):
+    """A unit job exhausted its retries under a fail-fast policy.
+
+    Carries the :class:`JobFailure` as ``.failure``; the original adapter
+    exception (when there was one) is chained as ``__cause__``.
+    """
+
+    def __init__(self, failure: JobFailure) -> None:
+        super().__init__(
+            f"unit job {failure.key} ({failure.scenario} seed {failure.seed}) "
+            f"failed after {failure.attempts} attempt(s) "
+            f"[{failure.kind}]: {failure.error}"
+        )
+        self.failure = failure
+
+
+class IncompletePlanError(KeyError):
+    """``assemble`` was handed neither metrics nor a failure for some jobs.
+
+    Only reachable through a buggy backend (every job must end up either
+    computed or in the failure manifest); names the missing keys so the
+    hole is debuggable instead of a bare ``KeyError``.
+    """
+
+    def __init__(self, missing: Iterable[str]) -> None:
+        self.missing = list(missing)
+        super().__init__(f"plan is missing metrics for unit jobs {self.missing}")
+
+
+def _describe_error(error: BaseException) -> str:
+    """One-line, manifest-friendly rendering of an exception."""
+    text = str(error).strip()
+    name = type(error).__name__
+    return f"{name}: {text}" if text else name
 
 
 def unit_spec(spec: ScenarioSpec, seed: int) -> ScenarioSpec:
@@ -147,31 +324,102 @@ class ExecutionPlan:
         """The distinct job keys, in plan order."""
         return [job.key for job in self.jobs]
 
-    def assemble(self, metrics_by_key: Mapping[str, Dict[str, float]]) -> ResultSet:
-        """Join executed metrics back into an ordered ResultSet."""
-        missing = [job.key for job in self.jobs if job.key not in metrics_by_key]
+    def assemble(
+        self,
+        metrics_by_key: Mapping[str, Dict[str, float]],
+        failures: Optional[Mapping[str, JobFailure]] = None,
+    ) -> ResultSet:
+        """Join executed metrics back into an ordered ResultSet.
+
+        Every job must be accounted for — either in ``metrics_by_key`` or
+        in ``failures`` — else :class:`IncompletePlanError` names the
+        holes.  With failures present the output is *partial*: a slot any
+        of whose jobs failed is omitted (never aggregated over a silently
+        shrunken replicate sample; its finished replicates stay in the
+        unit cache for the rerun) and the ResultSet carries a ``failures``
+        manifest entry per failed job per affected slot, in plan order.
+        """
+        failed = dict(failures or {})
+        missing = [job.key for job in self.jobs
+                   if job.key not in metrics_by_key and job.key not in failed]
         if missing:
-            raise KeyError(f"plan is missing metrics for unit jobs {missing}")
+            raise IncompletePlanError(missing)
+        results = []
+        manifest: List[Dict[str, object]] = []
+        for slot in self.slots:
+            lost = [job for job in slot.jobs if job.key in failed]
+            if lost:
+                for job in lost:
+                    entry = failed[job.key].to_dict()
+                    entry["scenario"] = slot.scenario
+                    entry["label"] = slot.label
+                    manifest.append(entry)
+                continue
+            results.append(slot.assemble(metrics_by_key))
         return ResultSet(
-            [slot.assemble(metrics_by_key) for slot in self.slots],
+            results,
             name=self.name,
             description=self.description,
+            failures=manifest,
         )
 
 
 # ----------------------------------------------------------------------
 # Unit execution (shared by every backend; module-level for pickling)
 # ----------------------------------------------------------------------
-def execute_unit(job: UnitJob) -> Dict[str, float]:
-    """Run one unit job in the current process."""
+def execute_unit(job: UnitJob, attempt: int = 1) -> Dict[str, float]:
+    """Run one unit job in the current process.
+
+    When :data:`FAULT_PLAN_ENV` is set (tests only) the fault-injection
+    harness gets a chance to raise/hang/kill first — see
+    :mod:`repro.scenarios.faults`.
+    """
+    if os.environ.get(FAULT_PLAN_ENV):
+        from repro.scenarios.faults import maybe_inject
+
+        maybe_inject(job.key, attempt)
     return adapter_for(job.spec.family).run_replicate(job.spec, job.seed)
 
 
-def _pool_execute(payload: Tuple[str, Dict[str, object], int]):
+def _pool_execute(payload: Tuple[str, Dict[str, object], int, int]):
     """Worker-side entry point: rebuild the spec from plain data and run it."""
-    key, spec_dict, seed = payload
+    key, spec_dict, seed, attempt = payload
     spec = ScenarioSpec.from_dict(spec_dict)
-    return key, adapter_for(spec.family).run_replicate(spec, seed)
+    return key, execute_unit(UnitJob(key=key, spec=spec, seed=seed), attempt)
+
+
+def _run_unit_attempt(job: UnitJob, attempt: int,
+                      timeout_s: Optional[float]) -> Dict[str, float]:
+    """One in-process attempt, optionally bounded by a wall-clock budget.
+
+    The timeout is enforced with a daemon watchdog thread: past the budget
+    the attempt counts as failed (:class:`JobTimeoutError`) and its thread
+    is abandoned — best-effort detection, unlike the pool backend which
+    actually kills the hung worker.  Without a timeout the job runs inline
+    at zero overhead.
+    """
+    if not timeout_s:
+        return execute_unit(job, attempt)
+    outcome: Dict[str, object] = {}
+
+    def _target() -> None:
+        try:
+            outcome["metrics"] = execute_unit(job, attempt)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            outcome["error"] = error
+
+    thread = threading.Thread(target=_target, daemon=True,
+                              name=f"unit-{job.key}-a{attempt}")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise JobTimeoutError(
+            f"unit job {job.key} exceeded its {timeout_s:g}s wall-clock "
+            f"budget (attempt {attempt})"
+        )
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    return outcome["metrics"]  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------
@@ -187,6 +435,14 @@ class ExecutionBackend:
     with ``(key, metrics)`` the moment each job finishes — this is how
     :func:`execute_plan` persists units incrementally, so an interrupted
     run keeps everything completed so far.
+
+    ``policy`` is an optional :class:`JobPolicy`; when it is ``None`` (or
+    inactive) backends take their historical fast path with no
+    supervision overhead.  Under an active policy a job that exhausts its
+    retries is recorded into the caller-supplied ``failures`` mapping
+    (``keep_going``) or raised as :class:`JobExecutionError` (fail-fast);
+    jobs with a recorded failure count as done for progress purposes and
+    are *not* part of the returned metrics.
     """
 
     def execute(
@@ -195,6 +451,8 @@ class ExecutionBackend:
         completed: Optional[Mapping[str, Dict[str, float]]] = None,
         progress: Optional[ProgressCallback] = None,
         on_result: Optional[Callable[[str, Dict[str, float]], None]] = None,
+        policy: Optional[JobPolicy] = None,
+        failures: Optional[Dict[str, JobFailure]] = None,
     ) -> Dict[str, Dict[str, float]]:
         raise NotImplementedError
 
@@ -211,15 +469,58 @@ class ExecutionBackend:
 class SerialBackend(ExecutionBackend):
     """Run every job in plan order in the current process (the default)."""
 
-    def execute(self, plan, completed=None, progress=None, on_result=None):
+    def execute(self, plan, completed=None, progress=None, on_result=None,
+                policy=None, failures=None):
         pending = self.pending_jobs(plan, completed)
         total = len(plan.jobs)
         done = total - len(pending)
+        if policy is not None and policy.active:
+            return self._execute_supervised(pending, total, done, policy,
+                                            progress, on_result, failures)
         fresh: Dict[str, Dict[str, float]] = {}
         for job in pending:
             fresh[job.key] = execute_unit(job)
             if on_result is not None:
                 on_result(job.key, fresh[job.key])
+            done += 1
+            if progress is not None:
+                progress(done, total, job)
+        return fresh
+
+    @staticmethod
+    def _execute_supervised(pending, total, done, policy, progress,
+                            on_result, failures):
+        """The retry/timeout loop; only entered under an active policy."""
+        fresh: Dict[str, Dict[str, float]] = {}
+        for job in pending:
+            metrics = None
+            started = time.monotonic()
+            for attempt in range(1, policy.attempts + 1):
+                try:
+                    metrics = _run_unit_attempt(job, attempt, policy.timeout_s)
+                    break
+                except Exception as error:  # noqa: BLE001 - supervised
+                    kind = ("timeout" if isinstance(error, JobTimeoutError)
+                            else "exception")
+                    if attempt < policy.attempts:
+                        delay = policy.backoff_delay(job.key, attempt)
+                        if delay:
+                            time.sleep(delay)
+                        continue
+                    failure = JobFailure(
+                        key=job.key, scenario=job.spec.name, seed=job.seed,
+                        kind=kind, error=_describe_error(error),
+                        attempts=attempt,
+                        elapsed_s=time.monotonic() - started,
+                    )
+                    if failures is not None:
+                        failures[job.key] = failure
+                    if not policy.keep_going:
+                        raise JobExecutionError(failure) from error
+            if metrics is not None:
+                fresh[job.key] = metrics
+                if on_result is not None:
+                    on_result(job.key, metrics)
             done += 1
             if progress is not None:
                 progress(done, total, job)
@@ -233,32 +534,53 @@ class ProcessPoolBackend(ExecutionBackend):
     points interleave freely) and merged by job key, so the assembled
     output is byte-identical to :class:`SerialBackend` regardless of
     completion order.  ``jobs`` defaults to the host's CPU count.
+
+    Under an active :class:`JobPolicy` the pool is *supervised*: a dead
+    worker (``BrokenProcessPool``) or a job past the wall-clock budget
+    kills and respawns the pool, requeueing only the job keys that were
+    lost with it — finished results are never recomputed, and because
+    retried jobs re-run the same seed-pinned unit spec the merged output
+    stays byte-identical to the fault-free serial run.  A pool break
+    charges one attempt to *every* in-flight job (the culprit is not
+    observable from the parent); innocents simply recompute their
+    deterministic unit on the respawned pool.
     """
+
+    #: Supervised-loop watchdog granularity (seconds).
+    POLL_S = 0.05
 
     def __init__(self, jobs: Optional[int] = None) -> None:
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("a process pool needs at least one worker")
 
-    def execute(self, plan, completed=None, progress=None, on_result=None):
+    @staticmethod
+    def _context():
         import multiprocessing
 
+        # ``fork`` keeps the already-imported interpreter (cheap, and the
+        # adapters derive all randomness from the job seed, so inherited
+        # state cannot leak into results); fall back to ``spawn`` elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+
+    def execute(self, plan, completed=None, progress=None, on_result=None,
+                policy=None, failures=None):
         pending = self.pending_jobs(plan, completed)
         if not pending:
             return {}
         total = len(plan.jobs)
         done = total - len(pending)
+        if policy is not None and policy.active:
+            return self._execute_supervised(pending, total, done, policy,
+                                            progress, on_result, failures)
         jobs_by_key = {job.key: job for job in pending}
-        payloads = [(job.key, job.spec.to_dict(), job.seed) for job in pending]
+        payloads = [(job.key, job.spec.to_dict(), job.seed, 1)
+                    for job in pending]
         workers = min(self.jobs, len(pending))
-        # ``fork`` keeps the already-imported interpreter (cheap, and the
-        # adapters derive all randomness from the job seed, so inherited
-        # state cannot leak into results); fall back to ``spawn`` elsewhere.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
         fresh: Dict[str, Dict[str, float]] = {}
-        with context.Pool(processes=workers) as pool:
+        with self._context().Pool(processes=workers) as pool:
             for key, metrics in pool.imap_unordered(
                     _pool_execute, payloads, chunksize=1):
                 fresh[key] = metrics
@@ -268,6 +590,185 @@ class ProcessPoolBackend(ExecutionBackend):
                 if progress is not None:
                     progress(done, total, jobs_by_key[key])
         return fresh
+
+    def _execute_supervised(self, pending, total, done, policy, progress,
+                            on_result, failures):
+        """Crash/hang-tolerant pool loop (see the class docstring).
+
+        At most ``workers`` jobs are in flight at a time, dispatched in
+        plan/retry order, so a dispatched job is genuinely *running* and
+        its wall-clock budget starts at dispatch.
+        """
+        from collections import deque
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            ProcessPoolExecutor,
+            wait as wait_futures,
+        )
+        from concurrent.futures.process import BrokenProcessPool
+
+        context = self._context()
+        workers = min(self.jobs, len(pending))
+        #: (job, attempt, not-before) — backoff keeps retries out of the
+        #: pool until their deterministic delay has elapsed.
+        queue = deque((job, 1, 0.0) for job in pending)
+        inflight: Dict[object, Tuple[UnitJob, int, float]] = {}
+        fresh: Dict[str, Dict[str, float]] = {}
+        executor = None
+        aborted: Optional[Tuple[JobFailure, BaseException]] = None
+
+        def finish(job, metrics):
+            nonlocal done
+            fresh[job.key] = metrics
+            if on_result is not None:
+                on_result(job.key, metrics)
+            done += 1
+            if progress is not None:
+                progress(done, total, job)
+
+        def fail(job, attempt, kind, error, started):
+            nonlocal done, aborted
+            if attempt < policy.attempts:
+                ready = time.monotonic() + policy.backoff_delay(job.key, attempt)
+                queue.append((job, attempt + 1, ready))
+                return
+            failure = JobFailure(
+                key=job.key, scenario=job.spec.name, seed=job.seed,
+                kind=kind, error=_describe_error(error), attempts=attempt,
+                elapsed_s=time.monotonic() - started,
+            )
+            if failures is not None:
+                failures[job.key] = failure
+            if not policy.keep_going:
+                if aborted is None:
+                    aborted = (failure, error)
+                return
+            done += 1
+            if progress is not None:
+                progress(done, total, job)
+
+        def reap_pool(error):
+            """Drain a broken pool: salvage done results, requeue the rest."""
+            nonlocal executor
+            for future, (job, attempt, started) in list(inflight.items()):
+                try:
+                    _, metrics = future.result(timeout=0)
+                except Exception as lost:  # noqa: BLE001 - lost with the pool
+                    fail(job, attempt, "worker-crash",
+                         lost if isinstance(lost, BrokenProcessPool) else error,
+                         started)
+                else:
+                    finish(job, metrics)
+            inflight.clear()
+            _shutdown_pool(executor, kill=True)
+            executor = None
+
+        try:
+            while (queue or inflight) and aborted is None:
+                now = time.monotonic()
+                # Dispatch every ready queue entry into a free pool slot.
+                waiting = deque()
+                while queue and len(inflight) < workers:
+                    job, attempt, ready_at = queue.popleft()
+                    if ready_at > now:
+                        waiting.append((job, attempt, ready_at))
+                        continue
+                    if executor is None:
+                        executor = ProcessPoolExecutor(
+                            max_workers=workers, mp_context=context)
+                    try:
+                        future = executor.submit(
+                            _pool_execute,
+                            (job.key, job.spec.to_dict(), job.seed, attempt))
+                    except BrokenProcessPool as error:
+                        waiting.append((job, attempt, ready_at))
+                        reap_pool(error)
+                        continue
+                    inflight[future] = (job, attempt, time.monotonic())
+                queue.extendleft(reversed(waiting))
+
+                if not inflight:
+                    if queue:  # everything is backing off; sleep it out
+                        wake = min(entry[2] for entry in queue)
+                        time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                finished, _ = wait_futures(
+                    set(inflight), timeout=self._poll_interval(policy, queue),
+                    return_when=FIRST_COMPLETED)
+                broken_error = None
+                for future in finished:
+                    job, attempt, started = inflight.pop(future)
+                    try:
+                        _, metrics = future.result()
+                    except BrokenProcessPool as error:
+                        broken_error = error
+                        fail(job, attempt, "worker-crash", error, started)
+                    except Exception as error:  # noqa: BLE001 - supervised
+                        fail(job, attempt, "exception", error, started)
+                    else:
+                        finish(job, metrics)
+                if broken_error is not None:
+                    reap_pool(broken_error)
+                    continue
+
+                if policy.timeout_s:
+                    now = time.monotonic()
+                    hung = [future for future, (_, _, started)
+                            in inflight.items()
+                            if now - started > policy.timeout_s]
+                    if hung:
+                        for future in hung:
+                            job, attempt, started = inflight.pop(future)
+                            fail(job, attempt, "timeout", JobTimeoutError(
+                                f"unit job {job.key} exceeded its "
+                                f"{policy.timeout_s:g}s wall-clock budget "
+                                f"(attempt {attempt})"), started)
+                        # A hung worker is only reclaimable by killing the
+                        # pool; the innocent in-flight jobs are requeued at
+                        # the same attempt (no budget charge — the culprit
+                        # is known here, unlike a pool break).
+                        for job, attempt, _ in inflight.values():
+                            queue.appendleft((job, attempt, 0.0))
+                        inflight.clear()
+                        _shutdown_pool(executor, kill=True)
+                        executor = None
+        finally:
+            if executor is not None:
+                _shutdown_pool(executor,
+                               kill=bool(queue or inflight or aborted))
+        if aborted is not None:
+            failure, error = aborted
+            raise JobExecutionError(failure) from error
+        return fresh
+
+    def _poll_interval(self, policy, queue) -> Optional[float]:
+        """How long the supervisor may block waiting for a completion."""
+        if policy.timeout_s:
+            return max(0.005, min(self.POLL_S, policy.timeout_s / 5.0))
+        if queue:  # backoff entries are waiting to become ready
+            return self.POLL_S
+        return None
+
+
+def _shutdown_pool(executor, kill: bool = False) -> None:
+    """Shut a ProcessPoolExecutor down, killing its workers when asked.
+
+    ``kill`` reaches into the executor's worker table because there is no
+    public way to reclaim a hung worker; the processes are killed first so
+    ``shutdown`` cannot block on them.
+    """
+    if kill:
+        for process in list((getattr(executor, "_processes", None) or {})
+                            .values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+    try:
+        executor.shutdown(wait=not kill, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - best-effort teardown
+        pass
 
 
 def backend_for(jobs: Optional[int] = None) -> ExecutionBackend:
@@ -286,6 +787,7 @@ def execute_plan(
     store=None,
     progress: Optional[Union[bool, ProgressCallback]] = None,
     resume: bool = True,
+    policy: Optional[JobPolicy] = None,
 ) -> ResultSet:
     """Run a plan on a backend and assemble the ResultSet.
 
@@ -298,6 +800,11 @@ def execute_plan(
     (the CLI's ``--no-resume``) bypasses the cache *read*: every job
     re-executes, and the fresh metrics overwrite whatever was cached.
     ``progress`` is a callback (or ``True`` for a stderr line per job).
+    ``policy`` is a :class:`JobPolicy`; with an active one, failed jobs
+    are retried/timed out per the policy and — under ``keep_going`` —
+    collected into the assembled ResultSet's failure manifest instead of
+    aborting the run.  Failed jobs never reach the store's unit cache,
+    so a rerun against the same store executes only the failed units.
     """
     if not isinstance(backend, ExecutionBackend):
         backend = backend_for(backend)
@@ -312,12 +819,14 @@ def execute_plan(
     if callback is not None and completed:
         callback(len(completed), len(plan.jobs), None)
 
+    failures: Dict[str, JobFailure] = {}
     fresh = backend.execute(plan, completed=completed, progress=callback,
-                            on_result=on_result)
+                            on_result=on_result, policy=policy,
+                            failures=failures)
 
     metrics_by_key = dict(completed)
     metrics_by_key.update(fresh)
-    return plan.assemble(metrics_by_key)
+    return plan.assemble(metrics_by_key, failures=failures)
 
 
 def _stderr_progress(done: int, total: int, job: Optional[UnitJob]) -> None:

@@ -99,11 +99,23 @@ def run_scenario(
     store=None,
     progress=None,
     resume: bool = True,
+    policy=None,
 ) -> ScenarioResult:
-    """Run the base configuration of a scenario and aggregate its replicates."""
+    """Run the base configuration of a scenario and aggregate its replicates.
+
+    ``policy`` is an optional
+    :class:`~repro.scenarios.execution.JobPolicy`; since this helper
+    returns a single result, a job failing past its retries raises even
+    under ``keep_going`` (there is no partial result to return).
+    """
     plan = compile_scenario(scenario, overrides, seed, replicates)
-    return execute_plan(plan, backend=backend, store=store,
-                        progress=progress, resume=resume)[0]
+    results = execute_plan(plan, backend=backend, store=store,
+                           progress=progress, resume=resume, policy=policy)
+    if not len(results):
+        from repro.scenarios.execution import JobExecutionError, JobFailure
+
+        raise JobExecutionError(JobFailure.from_dict(results.failures[0]))
+    return results[0]
 
 
 def run_sweep(
@@ -115,16 +127,20 @@ def run_sweep(
     store=None,
     progress=None,
     resume: bool = True,
+    policy=None,
 ) -> ResultSet:
     """Expand a spec's variants/sweeps and run every point, in order.
 
     Returns a :class:`~repro.analysis.resultset.ResultSet` (iterable and
     indexable like the list it used to be, plus the
-    filter/group/pivot/CI query surface).
+    filter/group/pivot/CI query surface).  ``policy`` is an optional
+    :class:`~repro.scenarios.execution.JobPolicy`; under ``keep_going``
+    the set may be partial, with the dropped points listed in its
+    ``failures`` manifest.
     """
     plan = compile_sweep(scenario, overrides, seed, replicates)
     return execute_plan(plan, backend=backend, store=store,
-                        progress=progress, resume=resume)
+                        progress=progress, resume=resume, policy=policy)
 
 
 def sweep_metrics(results: Union[ResultSet, List[ScenarioResult]]) -> List[Dict[str, float]]:

@@ -273,6 +273,7 @@ def run_study(
     store=None,
     progress=None,
     resume: bool = True,
+    policy=None,
 ) -> ResultSet:
     """Run a study (or a subset of its members) into one ResultSet.
 
@@ -282,12 +283,15 @@ def run_study(
     own; ``seed``/``replicates`` override the study-level values.
     ``backend`` selects the execution backend (an
     :class:`~repro.scenarios.execution.ExecutionBackend` or a ``--jobs``
-    integer); ``store`` enables RunStore unit-job resume.
+    integer); ``store`` enables RunStore unit-job resume.  ``policy`` is
+    an optional :class:`~repro.scenarios.execution.JobPolicy`; under
+    ``keep_going`` the returned set may omit failed members, listing them
+    in its ``failures`` manifest.
     """
     plan = compile_study(study, seed=seed, replicates=replicates,
                          members=members, member_overrides=member_overrides)
     return execute_plan(plan, backend=backend, store=store,
-                        progress=progress, resume=resume)
+                        progress=progress, resume=resume, policy=policy)
 
 
 # ----------------------------------------------------------------------

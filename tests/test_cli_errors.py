@@ -9,11 +9,52 @@ Python exception and fail these tests, so passing means no traceback.
 
 import pytest
 
+from repro.run import EXIT_DRIFT, EXIT_OK, EXIT_PARTIAL, EXIT_USAGE
 from repro.run import main as run_main
 
 
 def one_line(text: str) -> bool:
     return len(text.strip().splitlines()) == 1
+
+
+class TestExitCodeMatrix:
+    """The documented exit-code contract: 0 ok, 1 drift, 2 usage, 3 partial.
+
+    One representative invocation per code, so any change to the mapping
+    (or a new code colliding with an old meaning) fails here first.
+    """
+
+    ARGS = ["--quiet", "--set", "architecture.steps=20",
+            "--set", "architecture.arrivals_per_step=20"]
+
+    def test_constants_are_distinct_and_stable(self):
+        assert (EXIT_OK, EXIT_DRIFT, EXIT_USAGE, EXIT_PARTIAL) == (0, 1, 2, 3)
+
+    def test_success_is_0(self, capsys):
+        assert run_main(["market-concentration"] + self.ARGS) == EXIT_OK
+
+    def test_usage_error_is_2(self, capsys):
+        assert run_main(["no-such-scenario"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_drift_is_1(self, tmp_path, capsys):
+        base = ["market-concentration", "--runs-dir", str(tmp_path)] + self.ARGS
+        assert run_main(base + ["--save", "a"]) == EXIT_OK
+        assert run_main(base + ["--save", "b", "--seed", "9",
+                                "--no-resume"]) == EXIT_OK
+        args = ["diff", "a", "b", "--quiet", "--runs-dir", str(tmp_path)]
+        assert run_main(args) == EXIT_DRIFT
+        capsys.readouterr()
+
+    def test_partial_failure_is_3(self, monkeypatch, capsys):
+        from repro.scenarios.execution import FAULT_PLAN_ENV
+        from repro.scenarios.faults import FaultPlan, FaultSpec
+
+        monkeypatch.setenv(FAULT_PLAN_ENV, FaultPlan(
+            [FaultSpec(match="", action="raise")]).to_json())
+        assert run_main(["market-concentration", "--keep-going"]
+                        + self.ARGS) == EXIT_PARTIAL
+        capsys.readouterr()
 
 
 class TestUnknownNames:

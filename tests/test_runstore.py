@@ -188,6 +188,35 @@ class TestGc:
         assert report.units_removed == ["torn.json.tmp"]
         assert not stale.exists() and fresh.exists()
 
+    def test_stale_tmp_swept_on_store_open(self, tmp_path):
+        import os
+        import time
+
+        store = RunStore(tmp_path / "runs")
+        store.units_dir.mkdir(parents=True)
+        stale = store.units_dir / "torn.json.tmp"
+        stale.write_text("{")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = store.units_dir / "inflight.json.tmp"
+        fresh.write_text("{")
+        # Opening the store (not just gc) reclaims the stale orphan.
+        RunStore(tmp_path / "runs")
+        assert not stale.exists() and fresh.exists()
+
+    def test_sweep_tmp_dry_run_reports_without_deleting(self, tmp_path):
+        import os
+        import time
+
+        store = RunStore(tmp_path / "runs")
+        store.units_dir.mkdir(parents=True)
+        stale = store.units_dir / "torn.json.tmp"
+        stale.write_text("{")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        assert store.sweep_tmp(dry_run=True) == ["torn.json.tmp"]
+        assert stale.exists()
+        assert store.sweep_tmp() == ["torn.json.tmp"]
+        assert not stale.exists()
+
 
 class TestVerify:
     def test_healthy_store_is_clean(self, tmp_path):
