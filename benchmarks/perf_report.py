@@ -3,8 +3,12 @@
 Measures the core microbenchmarks (see :mod:`benchmarks.perf_core`) plus
 the execution-layer sweep workload (serial vs ``--jobs 4`` process-pool
 wall clock over a 4-point scenario sweep, and the serial sweep again
-under an active ``JobPolicy`` to bound supervision overhead) and
-maintains ``BENCH_core.json`` at the repository root:
+under an active ``JobPolicy`` to bound supervision overhead) plus the
+large-N fast-path workload (the full ``kademlia-churn-100k`` scale
+proof in a subprocess: overlay events/sec over ``run()`` and the
+subprocess peak RSS, which guards that streaming metrics keep memory
+flat at 10^5 nodes) and maintains ``BENCH_core.json`` at the
+repository root:
 
 ``python -m benchmarks.perf_report``
     Measure and compare against the committed baseline.  Exits non-zero if
@@ -79,6 +83,18 @@ WORKLOAD_NOTES = {
         "keep_going); guards that the supervision plumbing stays off the "
         "hot path (<5% below the plain serial rate fails the check)"
     ),
+    "overlay_events_per_sec_100k": (
+        "Vectorized Kademlia fast path at full scale: 100k-node overlay "
+        "under kad churn, 10k lookups in 1024-lookup waves with streaming "
+        "metrics (the kademlia-churn-100k scenario), run in a subprocess; "
+        "overlay events per second of run() wall clock (build excluded); "
+        "single run"
+    ),
+    "peak_rss_mb_100k": (
+        "Peak RSS (ru_maxrss) of that same 100k-node subprocess in MB; "
+        "LOWER is better — guards that the streaming sketches keep memory "
+        "flat at 10^5 nodes instead of accumulating per-lookup lists"
+    ),
 }
 
 #: Supervised serial throughput may not drop more than this fraction below
@@ -130,6 +146,67 @@ def sweep_rates(jobs: int = 4) -> Dict[str, float]:
     }
 
 
+#: The large-N fast-path workload: the kademlia-churn-100k scenario shape
+#: at full scale.  It runs in a subprocess so ru_maxrss measures only this
+#: workload's footprint, not whatever the suite allocated before it.
+OVERLAY_100K_SIZE = 100_000
+OVERLAY_100K_LOOKUPS = 10_000
+
+_OVERLAY_100K_SCRIPT = """\
+import json, resource, sys, time
+
+from repro.p2p.fastkad import FastKademliaConfig, FastKademliaOverlay
+from repro.p2p.kademlia import KademliaConfig
+from repro.sim.churn import ChurnModel
+from repro.sim.network import NetworkParams
+
+config = FastKademliaConfig(
+    network_size=int(sys.argv[1]),
+    lookups=int(sys.argv[2]),
+    lookup_interval=0.05,
+    kademlia=KademliaConfig.kad_like(),
+    churn=ChurnModel.kad_like(),
+    network_params=NetworkParams.by_name("wan"),
+    seed=7,
+    warmup=600.0,
+    wave_size=1024,
+    metrics="streaming",
+)
+overlay = FastKademliaOverlay(config)
+start = time.perf_counter()
+summary = overlay.run()
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "events": summary["events_processed"],
+    "elapsed": elapsed,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def overlay_100k_rates(size: int = OVERLAY_100K_SIZE,
+                       lookups: int = OVERLAY_100K_LOOKUPS) -> Dict[str, float]:
+    """Throughput and peak RSS of the 100k-node fast-path workload."""
+    import os
+    import subprocess
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, "-c", _OVERLAY_100K_SCRIPT, str(size), str(lookups)],
+        check=True, capture_output=True, text=True, env=env,
+    ).stdout
+    sample = json.loads(output)
+    # ru_maxrss is KB on Linux (bytes on macOS, where these numbers are
+    # host-local anyway and the committed baseline is Linux).
+    divisor = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return {
+        "overlay_events_per_sec_100k": sample["events"] / sample["elapsed"],
+        "peak_rss_mb_100k": sample["ru_maxrss_kb"] / divisor,
+    }
+
+
 def measure() -> Dict[str, float]:
     """Run every core workload and return work-units-per-second rates."""
     results = {
@@ -139,6 +216,7 @@ def measure() -> Dict[str, float]:
         "pow_blocks_per_sec": rate(pow_blocks, repeats=5, blocks=150),
     }
     results.update(sweep_rates())
+    results.update(overlay_100k_rates())
     return results
 
 
@@ -160,8 +238,12 @@ def check(results: Dict[str, float], baseline: Dict) -> int:
         if not reference:
             continue
         change = fresh / reference - 1.0
+        # ``peak_*`` keys record a footprint, not a rate: growth is the
+        # regression direction there.
+        worse = (change > REGRESSION_TOLERANCE if key.startswith("peak_")
+                 else change < -REGRESSION_TOLERANCE)
         marker = "ok"
-        if change < -REGRESSION_TOLERANCE:
+        if worse:
             if key == "engine_events_per_sec":
                 marker = "FAIL"
                 status = 1

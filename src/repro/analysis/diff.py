@@ -34,8 +34,19 @@ Usage::
     print(report.summary())
     print(report.to_json())
 
-The CLI front end is ``repro-run diff A B [--tol metric=rel]`` where A/B
-are RunStore names, JSON paths, or ``-`` for stdin.
+Per-metric tolerances accept ``fnmatch`` globs (``"*_latency_s"``,
+``"p9?_latency_s"``), resolved most-specific-first: an exact metric name
+wins over glob patterns (tried in declaration order), which win over the
+``"*"`` fallback.  :data:`TOLERANCE_PROFILES` names curated tolerance
+maps for recurring comparisons — ``"sketch"`` bounds the agreement
+between streaming-sketch and exact metrics collection
+(:mod:`repro.sim.metrics`), ``"latency"`` absorbs the sampling noise of
+latency percentiles across seeds/nights while keeping everything else
+tight.
+
+The CLI front end is ``repro-run diff A B [--profile NAME]
+[--tol metric=rel]`` where A/B are RunStore names, JSON paths, or ``-``
+for stdin; explicit ``--tol`` entries override the profile's.
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.resultset import ResultSet
@@ -122,12 +134,70 @@ def parse_tolerance(argument: str) -> Tuple[str, Tolerance]:
 
 def tolerance_for(metric: str,
                   tolerances: Optional[Mapping[str, Tolerance]]) -> Tolerance:
-    """The tolerance of one metric: exact entry, else ``"*"``, else zero."""
+    """The tolerance of one metric, most specific entry first.
+
+    Resolution order: an exact metric-name entry, then glob patterns
+    (``fnmatch`` syntax — ``*_latency_s``, ``p9?_latency_s``) in
+    declaration order, then the ``"*"`` fallback, then zero (exact
+    equality).  ``"*"`` always resolves last regardless of position, so
+    profiles can list it anywhere.
+    """
     if not tolerances:
         return Tolerance()
     if metric in tolerances:
         return tolerances[metric]
+    for pattern, tolerance in tolerances.items():
+        if pattern == "*":
+            continue
+        if any(ch in pattern for ch in "*?[") and fnmatchcase(metric, pattern):
+            return tolerance
     return tolerances.get("*", Tolerance())
+
+
+#: Named tolerance maps for recurring comparison jobs
+#: (``repro-run diff --profile NAME``).  Explicit ``--tol`` entries are
+#: layered on top of the chosen profile.
+TOLERANCE_PROFILES: Dict[str, Dict[str, Tolerance]] = {
+    # Streaming-sketch vs exact metrics collection over the *same*
+    # trajectory (repro.sim.metrics).  Percentiles come from a
+    # 1%-relative-error log-bucketed sketch, so they may shift by the
+    # bucket width plus rank-interpolation discreteness (bounded well
+    # inside 2.5% — asserted across distributions by
+    # tests/test_streaming_metrics.py); threshold fractions can move by
+    # the mass of one boundary bucket; everything not derived from a
+    # percentile sketch (counts, means, rates) must agree exactly.
+    "sketch": {
+        # Means are exact in both modes (Welford vs list sum); the
+        # allowance is float summation-order slack only.
+        "mean_latency_s": Tolerance(rel=1e-9, abs=1e-12),
+        "median_latency_s": Tolerance(rel=0.025, abs=1e-6),
+        "p9?_latency_s": Tolerance(rel=0.025, abs=1e-6),
+        "*_latency_s": Tolerance(rel=0.025, abs=1e-6),
+        "fraction_within_*": Tolerance(abs=0.02),
+        "*": Tolerance(),
+    },
+    # Cross-seed / night-over-night comparisons where latency order
+    # statistics are legitimately noisy (tail percentiles especially)
+    # but throughput-like metrics should stay put.  The carried-over
+    # ROADMAP item for the nightly grid.
+    "latency": {
+        "p99_latency_s": Tolerance(rel=0.40),
+        "p90_latency_s": Tolerance(rel=0.25),
+        "*_latency_s": Tolerance(rel=0.20),
+        "fraction_within_*": Tolerance(abs=0.05),
+        "*": Tolerance(rel=0.05),
+    },
+}
+
+
+def tolerance_profile(name: str) -> Dict[str, Tolerance]:
+    """A copy of one named profile from :data:`TOLERANCE_PROFILES`."""
+    if name not in TOLERANCE_PROFILES:
+        raise ValueError(
+            f"unknown tolerance profile {name!r}; "
+            f"pick one of {sorted(TOLERANCE_PROFILES)}"
+        )
+    return dict(TOLERANCE_PROFILES[name])
 
 
 # ----------------------------------------------------------------------
@@ -334,17 +404,28 @@ class DiffReport:
 # ----------------------------------------------------------------------
 # The comparison itself
 # ----------------------------------------------------------------------
+#: Spec keys that select how a run is *measured*, not what it simulates.
+#: They are excluded from diff identity so an exact-metrics run and a
+#: ``metrics: streaming`` rerun of the same experiment pair up as one
+#: unit — the whole point of ``--profile sketch`` is to judge exactly
+#: that numeric drift, which spec-level pairing would otherwise mask as
+#: an unconditional "changed (spec)".
+OBSERVATIONAL_SPEC_KEYS = ("metrics",)
+
+
 def result_key(result) -> str:
     """The structural identity of one result: its spec's content hash.
 
     Uses :meth:`ScenarioSpec.spec_hash` when the stored spec round-trips
     (the normal case for framework output) and falls back to hashing the
     raw spec JSON for hand-built documents, so foreign ResultSets still
-    diff structurally.
+    diff structurally.  :data:`OBSERVATIONAL_SPEC_KEYS` are dropped
+    before hashing.
     """
     from repro.scenarios.spec import ScenarioSpec
 
-    spec = result.spec or {}
+    spec = {key: value for key, value in (result.spec or {}).items()
+            if key not in OBSERVATIONAL_SPEC_KEYS}
     try:
         return ScenarioSpec.from_dict(spec).spec_hash()
     except (TypeError, ValueError, KeyError):

@@ -16,14 +16,20 @@ from typing import Dict, List, Optional
 from repro.p2p.identifiers import random_id
 from repro.p2p.kademlia import KademliaConfig, KademliaNetwork, LookupResult
 from repro.sim.churn import ChurnModel, ChurnProcess
-from repro.sim.metrics import Sample
+from repro.sim.metrics import Sample, make_sample
 from repro.sim.network import NetworkParams
 from repro.sim.rng import SeededRNG
 
 
 @dataclass
 class LookupExperimentConfig:
-    """Parameters of one lookup-latency experiment."""
+    """Parameters of one lookup-latency experiment.
+
+    ``metrics`` selects the latency sample implementation: ``"exact"``
+    (default, list-backed — the mode every committed golden used) or
+    ``"streaming"`` (O(1)-memory sketch accumulators for long-horizon
+    runs); see :func:`repro.sim.metrics.make_sample`.
+    """
 
     network_size: int = 600
     lookups: int = 300
@@ -33,6 +39,7 @@ class LookupExperimentConfig:
     network_params: Optional[NetworkParams] = None
     warmup: float = 0.0
     seed: int = 0
+    metrics: str = "exact"
 
     @classmethod
     def kad_scenario(cls, **overrides) -> "LookupExperimentConfig":
@@ -156,7 +163,7 @@ class LookupExperiment:
 
     def stats(self) -> LookupStats:
         """Aggregate the lookups completed so far."""
-        latencies = Sample("lookup_latency")
+        latencies = make_sample("lookup_latency", self.config.metrics)
         failures = 0
         timeouts = 0
         hops = 0

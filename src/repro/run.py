@@ -38,10 +38,15 @@ declared variants/sweeps into one result per point.
 ``diff A B`` compares two ResultSets through
 :mod:`repro.analysis.diff` — A and B are saved run names, paths to result
 JSON files, or ``-`` for stdin — and exits 0 when they match within
-tolerance, 1 on drift.  ``--tol METRIC=REL`` (repeatable; ``*`` matches
-every metric, ``abs:X``/``rel:X,abs:Y`` forms supported) sets per-metric
-tolerances; CI-overlap failures of replicated runs warn by default and
-fail only under ``--strict-ci``.  ``gc`` drops store objects and cached
+tolerance, 1 on drift.  ``--tol METRIC=REL`` (repeatable; fnmatch
+patterns like ``*_latency_s`` and the ``*`` catch-all supported,
+``abs:X``/``rel:X,abs:Y`` forms accepted) sets per-metric tolerances;
+``--profile NAME`` starts from a curated tolerance map
+(:data:`repro.analysis.diff.TOLERANCE_PROFILES` — ``sketch`` validates
+streaming-sketch vs exact metrics collection, ``latency`` absorbs noisy
+cross-seed latency percentiles) with ``--tol`` entries layered on top.
+CI-overlap failures of replicated runs warn by default and fail only
+under ``--strict-ci``.  ``gc`` drops store objects and cached
 units unreachable from any saved name (``--dry-run`` lists them without
 deleting), ``verify`` re-hashes every stored object and flags corruption,
 and ``--no-resume`` forces every unit job to re-execute, overwriting the
@@ -81,7 +86,12 @@ import os
 import sys
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.diff import Tolerance, diff_resultsets, parse_tolerance
+from repro.analysis.diff import (
+    Tolerance,
+    diff_resultsets,
+    parse_tolerance,
+    tolerance_profile,
+)
 from repro.analysis.resultset import ResultSet
 from repro.analysis.runstore import RunStore, is_run_name
 from repro.analysis.tables import ResultTable
@@ -254,7 +264,19 @@ def _print_resultset(results, compare_metrics=None, title=None) -> None:
 
 
 def _parse_tolerances(args) -> Dict[str, Tolerance]:
+    """Tolerances for ``diff``: the ``--profile`` base, ``--tol`` on top.
+
+    Explicit ``--tol`` entries override same-named profile entries; new
+    metric names/patterns are appended after the profile's (so the
+    profile's more-specific patterns keep priority, its ``"*"`` fallback
+    never does — ``tolerance_for`` resolves ``"*"`` last regardless).
+    """
     tolerances: Dict[str, Tolerance] = {}
+    if getattr(args, "profile", None):
+        try:
+            tolerances = tolerance_profile(args.profile)
+        except ValueError as error:
+            raise SystemExit(error.args[0])
     for assignment in args.tolerances:
         try:
             metric, tolerance = parse_tolerance(assignment)
@@ -574,8 +596,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "the failures, and exit 3")
     parser.add_argument("--tol", dest="tolerances", action="append", default=[],
                         metavar="METRIC=REL",
-                        help="diff tolerance for one metric ('*' for all; "
-                             "abs:X and rel:X,abs:Y forms; default exact)")
+                        help="diff tolerance for one metric or fnmatch "
+                             "pattern ('*_latency_s'; '*' for all; abs:X and "
+                             "rel:X,abs:Y forms; default exact)")
+    parser.add_argument("--profile", metavar="NAME", default=None,
+                        help="named diff tolerance profile ('sketch' for "
+                             "streaming-vs-exact metrics, 'latency' for "
+                             "noisy cross-seed percentiles); --tol entries "
+                             "override the profile's")
     parser.add_argument("--strict-ci", action="store_true",
                         help="make diff fail (exit 1) on CI-overlap failures "
                              "instead of warning")

@@ -459,6 +459,13 @@ class OverlayAdapter(ArchitectureAdapter):
     * a Kademlia client preset (``"kad"`` / ``"mainline"``) or a dict of
       :class:`~repro.p2p.kademlia.KademliaConfig` fields, with optional
       ``client_overrides`` applied on top — the multi-hop DHT path;
+    * ``"kad-fast"`` — the vectorized large-N Kademlia fast path
+      (:class:`~repro.p2p.fastkad.FastKademliaOverlay`): same lookup
+      metrics from array-backed state, tractable at 10^5+ nodes.
+      ``architecture["client"]`` picks the client preset/dict
+      (``client_overrides`` applies on top), ``workload["wave_size"]``
+      the lookup batch width; the spec's ``metrics`` mode selects
+      exact or streaming latency samples;
     * ``"onehop"`` — the full-membership
       :class:`~repro.p2p.onehop.OneHopOverlay` (E6), with
       ``dissemination_delay``, ``lookup_timeout`` and ``hop_latency`` knobs;
@@ -498,6 +505,8 @@ class OverlayAdapter(ArchitectureAdapter):
             return self._setup_onehop(spec, seed)
         if isinstance(overlay, str) and overlay in ("gnutella", "unstructured"):
             return self._setup_gnutella(spec, seed)
+        if isinstance(overlay, str) and overlay in ("kad-fast", "fastkad"):
+            return self._setup_fastkad(spec, seed)
         return self._setup_kademlia(spec, seed)
 
     def _setup_kademlia(self, spec: ScenarioSpec, seed: int):
@@ -518,8 +527,33 @@ class OverlayAdapter(ArchitectureAdapter):
             churn=ChurnModel.from_spec(spec.churn),
             network_params=NetworkParams.from_spec(spec.topology.get("network")),
             seed=seed,
+            metrics=spec.metrics,
         )
         return {"mode": "kademlia", "experiment": LookupExperiment(config)}
+
+    def _setup_fastkad(self, spec: ScenarioSpec, seed: int):
+        from repro.p2p.fastkad import FastKademliaConfig, FastKademliaOverlay
+        from repro.p2p.kademlia import KademliaConfig
+        from repro.sim.churn import ChurnModel
+        from repro.sim.network import NetworkParams
+
+        client = KademliaConfig.by_name(spec.architecture.get("client", "kad"))
+        overrides = spec.architecture.get("client_overrides") or {}
+        if overrides:
+            client = replace(client, **overrides)
+        config = FastKademliaConfig(
+            network_size=int(spec.topology.get("size", 100_000)),
+            lookups=int(spec.workload.get("lookups", 10_000)),
+            lookup_interval=float(spec.workload.get("interval_s", 0.05)),
+            kademlia=client,
+            churn=ChurnModel.from_spec(spec.churn),
+            network_params=NetworkParams.from_spec(spec.topology.get("network")),
+            seed=seed,
+            warmup=float(spec.workload.get("warmup_s", 0.0)),
+            wave_size=int(spec.workload.get("wave_size", 1024)),
+            metrics=spec.metrics,
+        )
+        return {"mode": "kad-fast", "overlay": FastKademliaOverlay(config)}
 
     def _setup_attack(self, spec: ScenarioSpec, seed: int):
         from repro.p2p.identifiers import random_id
@@ -593,6 +627,8 @@ class OverlayAdapter(ArchitectureAdapter):
         }
 
     def run(self, context):
+        if context["mode"] == "kad-fast":
+            return context["overlay"].run()
         if context["mode"] == "onehop":
             return context["overlay"].lookup_latencies(
                 context["lookups"], hop_latency=context["hop_latency"]
@@ -608,6 +644,10 @@ class OverlayAdapter(ArchitectureAdapter):
     def collect(self, context, outcome) -> Dict[str, float]:
         from repro.analysis.stats import mean, percentile
 
+        if context["mode"] == "kad-fast":
+            # run() already returned the summary dict (same metric names
+            # as the scalar DHT path, plus events_processed/online_fraction).
+            return {key: float(value) for key, value in outcome.items()}
         if context["mode"] == "attack":
             return {
                 "honest_nodes": float(outcome.honest_nodes),

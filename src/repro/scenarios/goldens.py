@@ -71,6 +71,9 @@ SCENARIO_TRIMS: Dict[str, Dict[str, object]] = {
     "onehop-lookup": {"topology.size": 1500, "workload.lookups": 50},
     "overlay-scaling": {"workload.lookups": 20,
                         "sweeps": {"topology.size": [100, 200]}},
+    "overlay-scaling-large": {"workload.lookups": 100,
+                              "sweeps": {"topology.size": [1000, 2000]}},
+    "kademlia-churn-100k": {"topology.size": 5000, "workload.lookups": 200},
     "gnutella-search": {"topology.size": 250, "workload.lookups": 40},
     # edge
     "edge-placement": {"workload.requests": 300},

@@ -341,6 +341,41 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="overlay-scaling-large",
+    family="overlay",
+    description=(
+        "Large-N scaling law on the vectorized Kademlia fast path: lookup "
+        "latency/hops across 10^3-10^4+ node overlays under churn"
+    ),
+    claim="E2",
+    architecture={"overlay": "kad-fast", "client": "kad"},
+    topology={"size": 1000, "network": "wan"},
+    churn="kad",
+    workload={"kind": "lookup", "lookups": 400, "interval_s": 0.05,
+              "wave_size": 256, "warmup_s": 300.0},
+    seed=7,
+    sweeps={"topology.size": [1000, 2000, 5000, 10_000, 20_000]},
+))
+
+register(ScenarioSpec(
+    name="kademlia-churn-100k",
+    family="overlay",
+    description=(
+        "10^5-node Kademlia overlay under heavy-tailed churn on the "
+        "vectorized fast path with O(1)-memory streaming metrics — the "
+        "scale proof for ROADMAP item 2"
+    ),
+    claim="E2",
+    architecture={"overlay": "kad-fast", "client": "kad"},
+    topology={"size": 100_000, "network": "wan"},
+    churn="kad",
+    workload={"kind": "lookup", "lookups": 10_000, "interval_s": 0.05,
+              "wave_size": 1024, "warmup_s": 600.0},
+    metrics="streaming",
+    seed=7,
+))
+
+register(ScenarioSpec(
     name="gnutella-search",
     family="overlay",
     description="Gnutella-style TTL-limited flooding: recall vs message cost",

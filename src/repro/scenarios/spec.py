@@ -63,6 +63,14 @@ class ScenarioSpec:
         Base seed; replicate ``i`` runs at ``seed + i``.
     replicates:
         Number of per-seed replicates aggregated into one result.
+    metrics:
+        Sample collection mode: ``"exact"`` (default, list-backed) or
+        ``"streaming"`` (O(1)-memory Welford + percentile-sketch
+        accumulators, see :class:`repro.sim.metrics.StreamingSample`).
+        Large-N / long-horizon scenarios opt into streaming so metric
+        memory stays flat; sketch percentiles agree with exact within
+        the declared relative error (``repro-run diff --profile
+        sketch`` carries matching tolerances).
     sweeps / variants:
         Expansion axes, see the module docstring.
     claim:
@@ -81,6 +89,7 @@ class ScenarioSpec:
     duration: float = 0.0
     seed: int = 0
     replicates: int = 1
+    metrics: str = "exact"
     sweeps: Dict[str, List[object]] = field(default_factory=dict)
     variants: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
@@ -91,6 +100,13 @@ class ScenarioSpec:
             )
         if self.replicates < 1:
             raise ValueError("replicates must be >= 1")
+        from repro.sim.metrics import SAMPLE_MODES
+
+        if self.metrics not in SAMPLE_MODES:
+            raise ValueError(
+                f"unknown metrics mode {self.metrics!r}; "
+                f"pick one of {SAMPLE_MODES}"
+            )
 
     # ------------------------------------------------------------------
     # Copies and overrides
@@ -166,8 +182,16 @@ class ScenarioSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Plain JSON-serialisable representation."""
-        return {
+        """Plain JSON-serialisable representation.
+
+        ``metrics`` is emitted only when it differs from the default, so
+        every pre-existing spec keeps its exact serialized form — and
+        therefore its :meth:`spec_hash`, the key under which goldens,
+        unit-job caches and RunStore entries were recorded.  (Same
+        convention as the ResultSet ``failures`` manifest: absent means
+        default.)
+        """
+        data = {
             "name": self.name,
             "family": self.family,
             "description": self.description,
@@ -182,6 +206,9 @@ class ScenarioSpec:
             "sweeps": _copy.deepcopy(self.sweeps),
             "variants": _copy.deepcopy(self.variants),
         }
+        if self.metrics != "exact":
+            data["metrics"] = self.metrics
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":

@@ -12,7 +12,12 @@ The kernel is deliberately small and deterministic:
 * :mod:`~repro.sim.churn` — session/arrival processes used to model open
   peer-to-peer membership dynamics.
 * :mod:`~repro.sim.metrics` — counters, samples and time series collected
-  during a run.
+  during a run; exact by default, O(1)-memory streaming sketches on
+  request (``metrics: streaming`` in scenario specs).
+* :mod:`~repro.sim.vecstate` — vectorized (numpy) node-population state
+  for large-N overlays: packed ``uint64`` id spaces, batch XOR-distance
+  routing tables and array-backed churn, used by the
+  ``architecture: {overlay: kad-fast}`` scenarios.
 
 Everything is seeded explicitly; running the same scenario twice with the
 same seed produces the same trajectory.
@@ -23,7 +28,14 @@ from repro.sim.rng import SeededRNG
 from repro.sim.network import NETWORK_PRESETS, Link, Message, Network, NetworkParams
 from repro.sim.node import Node
 from repro.sim.churn import ChurnModel, ChurnProcess, SessionSample
-from repro.sim.metrics import Counter, MetricsRegistry, Sample, TimeSeries
+from repro.sim.metrics import (
+    Counter,
+    MetricsRegistry,
+    Sample,
+    StreamingSample,
+    TimeSeries,
+    make_sample,
+)
 
 __all__ = [
     "Event",
@@ -43,5 +55,7 @@ __all__ = [
     "Counter",
     "MetricsRegistry",
     "Sample",
+    "StreamingSample",
     "TimeSeries",
+    "make_sample",
 ]
