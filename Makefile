@@ -1,12 +1,36 @@
 PY := python
 
-.PHONY: test bench bench-update experiments goldens smoke chaos
+.PHONY: test bench bench-update experiments goldens smoke chaos lint typecheck
+
+# Correctness gates, quickest first:
+#   make lint       reprolint determinism/purity contract (RL001-RL006);
+#                   zero unsuppressed findings or exit 1
+#   make typecheck  mypy targeted-strict over the determinism-critical core
+#                   (skips with a notice when mypy is not installed)
+#   make test       full tier-1 suite including the golden corpus
+#   make chaos      fault-injection suite + figure1 under worker kills
 
 # Tier-1 gate.  Includes the golden-corpus test (tests/test_goldens.py):
 # every registered scenario and study re-runs trimmed at its fixed seed and
 # must diff clean (zero tolerance) against tests/goldens/.
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Enforce the determinism contract (see `repro-lint --list-rules` and the
+# "Determinism contract" section of ROADMAP.md).  Exit 1 on any
+# unsuppressed finding; suppressions require an inline reason.
+lint:
+	PYTHONPATH=src $(PY) -m repro.analysis.lint
+
+# Targeted-strict mypy over the determinism-critical core (config and the
+# checked file list live in mypy.ini).  mypy is not vendored: when it is
+# missing locally the target reports a skip and exits 0; CI installs it.
+typecheck:
+	@if PYTHONPATH=src $(PY) -c "import mypy" >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PY) -m mypy --config-file mypy.ini; \
+	else \
+		echo "typecheck: mypy not installed - skipping (pip install mypy to enable)"; \
+	fi
 
 # Run the core perf suite (<60 s) and fail if engine events/sec regresses
 # more than 20% from the committed BENCH_core.json baseline.  Kept out of CI:

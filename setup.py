@@ -38,6 +38,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-run = repro.run:main",
+            "repro-lint = repro.analysis.lint.cli:main",
         ],
     },
 )

@@ -1,0 +1,353 @@
+"""reprolint core: sources, findings, suppressions, the lint driver.
+
+The framework is deliberately small: a *rule* is an object with a stable
+``RLxxx`` code, explain/fix-it text, and a ``check(src, config)`` generator
+of :class:`Finding` s; the driver parses each file once into a
+:class:`ModuleSource` (AST + import map + suppression table) and hands it to
+every rule whose configured zone covers the file's module.  Everything a
+rule needs — resolved qualified names, per-line suppressions, the module
+name — is precomputed here so rules stay ~50 lines of AST matching.
+
+Suppressions
+------------
+A finding is silenced by an inline comment on the same line (or on a
+comment-only line directly above)::
+
+    started = time.monotonic()  # reprolint: ok RL002 (supervision timer, never feeds results)
+
+The parenthesised reason is mandatory: a ``reprolint:`` directive without
+one (or one that is not ``ok CODE[,CODE...] (reason)``) is itself reported
+as :data:`META_CODE` and cannot be suppressed.  Suppressed findings stay in
+the report (``suppressed: true`` in JSON) so the contract's exception list
+is always visible; only *unsuppressed* findings fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.lint.config import LintConfig, rule_applies
+
+#: Code of the meta-rule for malformed suppression directives.
+META_CODE = "RL000"
+
+_DIRECTIVE_RE = re.compile(r"#\s*reprolint\s*:\s*(.*)$")
+_OK_RE = re.compile(
+    r"^ok\s+(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)\s*"
+    r"(?:\((?P<reason>[^)]*)\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppressed exception) at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    module: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "module": self.module,
+            "suppressed": self.suppressed,
+        }
+        if self.reason:
+            data["reason"] = self.reason
+        return data
+
+    def render(self) -> str:
+        mark = " [suppressed: " + self.reason + "]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}{mark}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# reprolint: ok ...`` directive."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file plus everything rules need to inspect it."""
+
+    path: Path
+    rel_path: str
+    module: str
+    text: str
+    tree: ast.Module
+    #: local name -> fully qualified dotted origin ("np" -> "numpy",
+    #: "monotonic" -> "time.monotonic").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: physical line -> suppression active on that line.
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    #: malformed-directive findings produced while parsing comments.
+    directive_findings: List[Finding] = field(default_factory=list)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The dotted qualified name of a Name/Attribute chain, if any.
+
+        Resolution goes through the import map, so ``np.random.seed``
+        resolves to ``numpy.random.seed`` and a bare ``monotonic`` imported
+        ``from time import monotonic`` resolves to ``time.monotonic``.
+        Names bound locally (no import) resolve to themselves.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the source ``root``."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _build_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: stays package-local
+                continue
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _parse_directives(
+    text: str, rel_path: str, module: str
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Extract suppression directives (and malformed-directive findings).
+
+    Comments are read with :mod:`tokenize` so a ``#`` inside a string can
+    never be mistaken for a directive.  A directive on a comment-only line
+    covers the next code line; a trailing directive covers its own line.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    findings: List[Finding] = []
+    pending: List[Tuple[int, Suppression]] = []  # comment-only lines
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions, findings
+
+    code_lines = set()
+    comments: List[Tuple[int, int, str]] = []  # (line, col, comment text)
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append((tok.start[0], tok.start[1], tok.string))
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            code_lines.add(tok.start[0])
+
+    for line, col, comment in comments:
+        match = _DIRECTIVE_RE.search(comment)
+        if match is None:
+            continue
+        body = match.group(1).strip()
+        ok = _OK_RE.match(body)
+        if ok is None:
+            findings.append(Finding(
+                code=META_CODE,
+                message=(
+                    f"malformed reprolint directive {body!r} — expected "
+                    "'reprolint: ok RLxxx[,RLyyy] (reason)'"
+                ),
+                path=rel_path, line=line, col=col, module=module,
+            ))
+            continue
+        reason = (ok.group("reason") or "").strip()
+        if not reason:
+            findings.append(Finding(
+                code=META_CODE,
+                message=(
+                    "suppression without a reason — every 'reprolint: ok' "
+                    "must justify itself: '# reprolint: ok "
+                    f"{ok.group('codes')} (why this is safe)'"
+                ),
+                path=rel_path, line=line, col=col, module=module,
+            ))
+            continue
+        codes = tuple(
+            code.strip() for code in ok.group("codes").split(",") if code.strip()
+        )
+        entry = Suppression(line=line, codes=codes, reason=reason)
+        if line in code_lines:
+            suppressions[line] = entry
+        else:
+            pending.append((line, entry))
+
+    # Comment-only directives cover the next code line after them.
+    for line, entry in pending:
+        target = min((cl for cl in code_lines if cl > line), default=0)
+        if target:
+            suppressions.setdefault(target, entry)
+    return suppressions, findings
+
+
+def load_source(path: Path, root: Path) -> ModuleSource:
+    """Parse one file into a :class:`ModuleSource` (raises SyntaxError)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    module = module_name(path, root)
+    try:
+        rel_path = str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        rel_path = str(path)
+    suppressions, directive_findings = _parse_directives(text, rel_path, module)
+    return ModuleSource(
+        path=path,
+        rel_path=rel_path,
+        module=module,
+        text=text,
+        tree=tree,
+        imports=_build_imports(tree),
+        suppressions=suppressions,
+        directive_findings=directive_findings,
+    )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses define the class attributes and implement :meth:`check`.
+    ``rationale`` is the long-form ``--explain`` text; ``fixit`` the
+    one-line remediation appended to every finding message.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+    fixit: str = ""
+
+    def check(self, src: ModuleSource, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=f"{message} — {self.fixit}" if self.fixit else message,
+            path=src.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            module=src.module,
+        )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, files and directories alike.
+
+    Deterministic order: directories are walked sorted by path string.
+    """
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"), key=str)
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_sources(
+    sources: Iterable[ModuleSource],
+    rules: Iterable[Rule],
+    config: LintConfig,
+) -> List[Finding]:
+    """Run every applicable rule over every source; apply suppressions."""
+    rules = list(rules)
+    findings: List[Finding] = []
+    for src in sources:
+        findings.extend(src.directive_findings)
+        for rule in rules:
+            if not rule_applies(config, rule.code, src.module):
+                continue
+            for finding in rule.check(src, config):
+                entry = src.suppressions.get(finding.line)
+                if entry is not None and finding.code in entry.codes:
+                    finding = Finding(
+                        code=finding.code, message=finding.message,
+                        path=finding.path, line=finding.line, col=finding.col,
+                        module=finding.module, suppressed=True,
+                        reason=entry.reason,
+                    )
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule],
+    config: LintConfig,
+    root: Path,
+) -> Tuple[List[Finding], int]:
+    """Lint every Python file under ``paths``; returns (findings, n_files).
+
+    Unparseable files surface as a :data:`META_CODE` finding rather than an
+    exception — a syntax error in the tree should fail the lint, not crash
+    it.
+    """
+    sources: List[ModuleSource] = []
+    extra: List[Finding] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        try:
+            sources.append(load_source(path, root))
+        except SyntaxError as error:
+            extra.append(Finding(
+                code=META_CODE,
+                message=f"file does not parse: {error.msg}",
+                path=str(path), line=error.lineno or 1, col=0,
+                module=module_name(path, root),
+            ))
+    findings = lint_sources(sources, rules, config)
+    findings.extend(extra)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, count

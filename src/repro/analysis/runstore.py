@@ -75,6 +75,7 @@ TMP_SWEEP_AGE_S = 3600.0
 
 def default_runs_dir() -> Path:
     """``$REPRO_RUNS_DIR`` when set, else ``./runs``."""
+    # reprolint: ok RL005 (store location only; never feeds unit-job results)
     return Path(os.environ.get(RUNS_DIR_ENV) or "runs")
 
 

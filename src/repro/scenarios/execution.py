@@ -61,7 +61,18 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.resultset import ResultSet
 from repro.scenarios.adapters import adapter_for
@@ -344,7 +355,7 @@ class ExecutionPlan:
                    if job.key not in metrics_by_key and job.key not in failed]
         if missing:
             raise IncompletePlanError(missing)
-        results = []
+        results: List[ScenarioResult] = []
         manifest: List[Dict[str, object]] = []
         for slot in self.slots:
             lost = [job for job in slot.jobs if job.key in failed]
@@ -374,6 +385,9 @@ def execute_unit(job: UnitJob, attempt: int = 1) -> Dict[str, float]:
     harness gets a chance to raise/hang/kill first — see
     :mod:`repro.scenarios.faults`.
     """
+    # The env var only scripts *failures* for tests; injected faults are
+    # retried or manifested, never returned as metrics.
+    # reprolint: ok RL005 (fault-injection hook cannot feed metric values)
     if os.environ.get(FAULT_PLAN_ENV):
         from repro.scenarios.faults import maybe_inject
 
@@ -381,7 +395,9 @@ def execute_unit(job: UnitJob, attempt: int = 1) -> Dict[str, float]:
     return adapter_for(job.spec.family).run_replicate(job.spec, job.seed)
 
 
-def _pool_execute(payload: Tuple[str, Dict[str, object], int, int]):
+def _pool_execute(
+    payload: Tuple[str, Dict[str, object], int, int],
+) -> Tuple[str, Dict[str, float]]:
     """Worker-side entry point: rebuild the spec from plain data and run it."""
     key, spec_dict, seed, attempt = payload
     spec = ScenarioSpec.from_dict(spec_dict)
@@ -469,8 +485,15 @@ class ExecutionBackend:
 class SerialBackend(ExecutionBackend):
     """Run every job in plan order in the current process (the default)."""
 
-    def execute(self, plan, completed=None, progress=None, on_result=None,
-                policy=None, failures=None):
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        completed: Optional[Mapping[str, Dict[str, float]]] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_result: Optional[Callable[[str, Dict[str, float]], None]] = None,
+        policy: Optional[JobPolicy] = None,
+        failures: Optional[Dict[str, JobFailure]] = None,
+    ) -> Dict[str, Dict[str, float]]:
         pending = self.pending_jobs(plan, completed)
         total = len(plan.jobs)
         done = total - len(pending)
@@ -488,8 +511,15 @@ class SerialBackend(ExecutionBackend):
         return fresh
 
     @staticmethod
-    def _execute_supervised(pending, total, done, policy, progress,
-                            on_result, failures):
+    def _execute_supervised(
+        pending: List[UnitJob],
+        total: int,
+        done: int,
+        policy: JobPolicy,
+        progress: Optional[ProgressCallback],
+        on_result: Optional[Callable[[str, Dict[str, float]], None]],
+        failures: Optional[Dict[str, JobFailure]],
+    ) -> Dict[str, Dict[str, float]]:
         """The retry/timeout loop; only entered under an active policy."""
         fresh: Dict[str, Dict[str, float]] = {}
         for job in pending:
@@ -555,7 +585,7 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("a process pool needs at least one worker")
 
     @staticmethod
-    def _context():
+    def _context() -> Any:
         import multiprocessing
 
         # ``fork`` keeps the already-imported interpreter (cheap, and the
@@ -565,8 +595,15 @@ class ProcessPoolBackend(ExecutionBackend):
         return multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
 
-    def execute(self, plan, completed=None, progress=None, on_result=None,
-                policy=None, failures=None):
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        completed: Optional[Mapping[str, Dict[str, float]]] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_result: Optional[Callable[[str, Dict[str, float]], None]] = None,
+        policy: Optional[JobPolicy] = None,
+        failures: Optional[Dict[str, JobFailure]] = None,
+    ) -> Dict[str, Dict[str, float]]:
         pending = self.pending_jobs(plan, completed)
         if not pending:
             return {}
@@ -591,8 +628,16 @@ class ProcessPoolBackend(ExecutionBackend):
                     progress(done, total, jobs_by_key[key])
         return fresh
 
-    def _execute_supervised(self, pending, total, done, policy, progress,
-                            on_result, failures):
+    def _execute_supervised(
+        self,
+        pending: List[UnitJob],
+        total: int,
+        done: int,
+        policy: JobPolicy,
+        progress: Optional[ProgressCallback],
+        on_result: Optional[Callable[[str, Dict[str, float]], None]],
+        failures: Optional[Dict[str, JobFailure]],
+    ) -> Dict[str, Dict[str, float]]:
         """Crash/hang-tolerant pool loop (see the class docstring).
 
         At most ``workers`` jobs are in flight at a time, dispatched in
@@ -612,12 +657,12 @@ class ProcessPoolBackend(ExecutionBackend):
         #: (job, attempt, not-before) — backoff keeps retries out of the
         #: pool until their deterministic delay has elapsed.
         queue = deque((job, 1, 0.0) for job in pending)
-        inflight: Dict[object, Tuple[UnitJob, int, float]] = {}
+        inflight: Dict[Any, Tuple[UnitJob, int, float]] = {}
         fresh: Dict[str, Dict[str, float]] = {}
-        executor = None
+        executor: Optional[Any] = None
         aborted: Optional[Tuple[JobFailure, BaseException]] = None
 
-        def finish(job, metrics):
+        def finish(job: UnitJob, metrics: Dict[str, float]) -> None:
             nonlocal done
             fresh[job.key] = metrics
             if on_result is not None:
@@ -626,7 +671,8 @@ class ProcessPoolBackend(ExecutionBackend):
             if progress is not None:
                 progress(done, total, job)
 
-        def fail(job, attempt, kind, error, started):
+        def fail(job: UnitJob, attempt: int, kind: str,
+                 error: BaseException, started: float) -> None:
             nonlocal done, aborted
             if attempt < policy.attempts:
                 ready = time.monotonic() + policy.backoff_delay(job.key, attempt)
@@ -647,7 +693,7 @@ class ProcessPoolBackend(ExecutionBackend):
             if progress is not None:
                 progress(done, total, job)
 
-        def reap_pool(error):
+        def reap_pool(error: BaseException) -> None:
             """Drain a broken pool: salvage done results, requeue the rest."""
             nonlocal executor
             for future, (job, attempt, started) in list(inflight.items()):
@@ -667,7 +713,7 @@ class ProcessPoolBackend(ExecutionBackend):
             while (queue or inflight) and aborted is None:
                 now = time.monotonic()
                 # Dispatch every ready queue entry into a free pool slot.
-                waiting = deque()
+                waiting: Deque[Tuple[UnitJob, int, float]] = deque()
                 while queue and len(inflight) < workers:
                     job, attempt, ready_at = queue.popleft()
                     if ready_at > now:
@@ -742,7 +788,11 @@ class ProcessPoolBackend(ExecutionBackend):
             raise JobExecutionError(failure) from error
         return fresh
 
-    def _poll_interval(self, policy, queue) -> Optional[float]:
+    def _poll_interval(
+        self,
+        policy: JobPolicy,
+        queue: Deque[Tuple[UnitJob, int, float]],
+    ) -> Optional[float]:
         """How long the supervisor may block waiting for a completion."""
         if policy.timeout_s:
             return max(0.005, min(self.POLL_S, policy.timeout_s / 5.0))
@@ -751,7 +801,7 @@ class ProcessPoolBackend(ExecutionBackend):
         return None
 
 
-def _shutdown_pool(executor, kill: bool = False) -> None:
+def _shutdown_pool(executor: Any, kill: bool = False) -> None:
     """Shut a ProcessPoolExecutor down, killing its workers when asked.
 
     ``kill`` reaches into the executor's worker table because there is no
@@ -784,7 +834,7 @@ def backend_for(jobs: Optional[int] = None) -> ExecutionBackend:
 def execute_plan(
     plan: ExecutionPlan,
     backend: Optional[Union[ExecutionBackend, int]] = None,
-    store=None,
+    store: Optional[Any] = None,
     progress: Optional[Union[bool, ProgressCallback]] = None,
     resume: bool = True,
     policy: Optional[JobPolicy] = None,

@@ -26,7 +26,7 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 #: The five architecture families the paper compares.
 FAMILIES = ("permissionless", "consensus", "permissioned", "overlay", "edge")
@@ -217,7 +217,8 @@ class ScenarioSpec:
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown spec keys: {sorted(unknown)}")
-        return cls(**_copy.deepcopy(dict(data)))
+        payload: Dict[str, Any] = _copy.deepcopy(dict(data))
+        return cls(**payload)
 
     # ------------------------------------------------------------------
     # Identity

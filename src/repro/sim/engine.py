@@ -446,6 +446,8 @@ class Simulator:
                         self.now = until
                         break
                     entry = self._pop_next()
+                    if entry is None:  # unreachable: _peek_next saw one
+                        break
                     self.now = entry[0]
                     # Decrement before invoking: a raising callback must not
                     # leave its (already popped) entry counted as pending.

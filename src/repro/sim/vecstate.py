@@ -85,7 +85,7 @@ def stream_key(seed: int, label: str) -> int:
     return int.from_bytes(digest, "little")
 
 
-def hashed_u64(key: int, *counters) -> np.ndarray:
+def hashed_u64(key: int, *counters: object) -> np.ndarray:
     """Deterministic uint64 hash of one or more counter arrays.
 
     ``hashed_u64(key, a, b, ...)`` mixes each counter in sequence with a
@@ -100,7 +100,7 @@ def hashed_u64(key: int, *counters) -> np.ndarray:
     return h
 
 
-def hashed_uniform(key: int, *counters) -> np.ndarray:
+def hashed_uniform(key: int, *counters: object) -> np.ndarray:
     """Deterministic uniforms on (0, 1] (never 0, so ``log(u)`` is safe)."""
     bits = hashed_u64(key, *counters)
     return ((bits >> np.uint64(11)).astype(np.float64) + 1.0) * 2.0 ** -53

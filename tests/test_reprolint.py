@@ -1,0 +1,642 @@
+"""reprolint: the determinism-contract linter's own test suite.
+
+Each rule RL001–RL006 gets a seeded-violation fixture (the linter must
+flag it) and a clean fixture (the linter must pass it) — including the
+historical PR 2 ``SeededRNG.fork`` builtin-``hash()`` bug, reproduced
+verbatim, which RL001 exists to catch.  On top of the rules: the CLI's
+exit codes (0 clean / 1 findings / 2 usage), the JSON report shape,
+suppression-with-reason enforcement (reasonless suppressions are RL000
+findings), config allowlist zones, and the guarantee that the shipped
+tree itself lints clean with only its documented suppressed exceptions.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    ALL_RULES,
+    RULES_BY_CODE,
+    default_config,
+    lint_paths,
+)
+from repro.analysis.lint.cli import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    JSON_VERSION,
+    main,
+)
+from repro.analysis.lint.config import LintConfig, ZoneConfig, module_in
+from repro.analysis.lint.framework import module_name
+
+
+# ----------------------------------------------------------------------
+# Fixture helpers: a tiny fake `repro` tree the zones recognise
+# ----------------------------------------------------------------------
+def make_tree(tmp_path, files):
+    """Write ``{relative path: source}`` under tmp_path; returns the root."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        for parent in path.parents:
+            if parent == tmp_path:
+                break
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    return tmp_path
+
+
+def lint_tree(tmp_path, files, config=None):
+    root = make_tree(tmp_path, files)
+    findings, _ = lint_paths(
+        [root / "repro"], ALL_RULES, config or default_config(), root
+    )
+    return findings
+
+
+def codes(findings, unsuppressed_only=True):
+    return sorted(
+        f.code for f in findings if not (unsuppressed_only and f.suppressed)
+    )
+
+
+# ----------------------------------------------------------------------
+# RL001 — builtin hash(), including the historical PR 2 bug
+# ----------------------------------------------------------------------
+#: The PR 2 bug, reproduced: fork() derived child seeds from builtin
+#: hash(), so fixed-seed runs differed across PYTHONHASHSEED processes.
+HISTORICAL_FORK_BUG = """
+    import random
+
+
+    class SeededRNG:
+        def __init__(self, seed=0):
+            self.seed = seed
+            self._random = random.Random(seed)
+
+        def fork(self, label):
+            child_seed = hash((self.seed, label)) & 0x7FFFFFFF
+            return SeededRNG(child_seed)
+"""
+
+
+class TestRL001BuiltinHash:
+    def test_historical_fork_bug_is_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"repro/sim/rng2.py": HISTORICAL_FORK_BUG}
+        )
+        assert "RL001" in codes(findings)
+        (finding,) = [f for f in findings if f.code == "RL001"]
+        assert "PYTHONHASHSEED" in finding.message
+        assert finding.module == "repro.sim.rng2"
+
+    def test_sha256_fork_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/rng2.py": """
+            import hashlib
+
+
+            def fork_seed(seed, label):
+                digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+                return int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
+        """})
+        assert codes(findings) == []
+
+    def test_locally_rebound_hash_is_not_the_builtin(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/h.py": """
+            from hashlib import sha256 as hash
+
+
+            def digest(data):
+                return hash(data).hexdigest()
+        """})
+        assert "RL001" not in codes(findings)
+
+
+# ----------------------------------------------------------------------
+# RL002 — wall-clock reads in simulation semantics
+# ----------------------------------------------------------------------
+class TestRL002WallClock:
+    @pytest.mark.parametrize("snippet", [
+        "import time\n\ndef f():\n    return time.time()\n",
+        "import time\n\ndef f():\n    return time.perf_counter()\n",
+        "from time import monotonic\n\ndef f():\n    return monotonic()\n",
+        ("from datetime import datetime\n\n"
+         "def f():\n    return datetime.now()\n"),
+    ])
+    def test_wall_clock_reads_flagged_in_sim_zone(self, tmp_path, snippet):
+        findings = lint_tree(tmp_path, {"repro/sim/clock.py": snippet})
+        assert codes(findings) == ["RL002"]
+
+    def test_virtual_clock_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/clock.py": """
+            def elapsed(sim, started_at):
+                return sim.now - started_at
+        """})
+        assert codes(findings) == []
+
+    def test_allowlisted_zone_is_exempt(self, tmp_path):
+        # Same wall-clock read, placed in the supervision module the
+        # default config allowlists: no finding.
+        snippet = "import time\n\ndef budget():\n    return time.monotonic()\n"
+        findings = lint_tree(
+            tmp_path, {"repro/scenarios/execution.py": snippet}
+        )
+        assert codes(findings) == []
+
+    def test_custom_allowlist_zone(self, tmp_path):
+        snippet = "import time\n\ndef f():\n    return time.time()\n"
+        config = default_config()
+        zones = dict(config.zones)
+        zones["RL002"] = ZoneConfig(apply=("repro",),
+                                    allow=("repro.sim.clock",))
+        findings = lint_tree(
+            tmp_path, {"repro/sim/clock.py": snippet},
+            config=LintConfig(zones=zones),
+        )
+        assert codes(findings) == []
+
+
+# ----------------------------------------------------------------------
+# RL003 — global / unseeded RNG
+# ----------------------------------------------------------------------
+class TestRL003GlobalRNG:
+    @pytest.mark.parametrize("snippet", [
+        "import random\n\ndef f():\n    return random.random()\n",
+        "import random\n\ndef f(xs):\n    random.shuffle(xs)\n",
+        "from random import randint\n\ndef f():\n    return randint(0, 9)\n",
+        "import numpy as np\n\ndef f():\n    return np.random.normal()\n",
+        "import numpy as np\n\ndef f():\n    np.random.seed(0)\n",
+        ("import numpy as np\n\n"
+         "def f():\n    return np.random.default_rng()\n"),
+        "import random\n\ndef f():\n    return random.Random()\n",
+    ])
+    def test_global_rng_flagged(self, tmp_path, snippet):
+        findings = lint_tree(tmp_path, {"repro/p2p/draws.py": snippet})
+        assert codes(findings) == ["RL003"]
+
+    @pytest.mark.parametrize("snippet", [
+        # Seeded constructions and SeededRNG methods are fine.
+        "import random\n\ndef f(seed):\n    return random.Random(seed)\n",
+        ("import numpy as np\n\n"
+         "def f(seed):\n    return np.random.default_rng(seed)\n"),
+        "def f(rng):\n    return rng.random() + rng.randint(0, 9)\n",
+    ])
+    def test_seeded_rng_clean(self, tmp_path, snippet):
+        findings = lint_tree(tmp_path, {"repro/p2p/draws.py": snippet})
+        assert codes(findings) == []
+
+    def test_rng_module_itself_is_allowlisted(self, tmp_path):
+        # repro.sim.rng wraps random.Random: that is its job.
+        findings = lint_tree(tmp_path, {"repro/sim/rng.py": """
+            import random
+
+
+            def build(seed):
+                return random.Random(seed)
+        """})
+        assert codes(findings) == []
+
+
+# ----------------------------------------------------------------------
+# RL004 — set iteration
+# ----------------------------------------------------------------------
+class TestRL004SetIteration:
+    def test_loop_over_set_call_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/loops.py": """
+            def schedule_all(sim, peers):
+                for peer in set(peers):
+                    sim.schedule(0.0, peer.tick)
+        """})
+        assert codes(findings) == ["RL004"]
+
+    def test_loop_over_set_valued_local_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/loops.py": """
+            def collect(edges):
+                touched = set()
+                for a, b in edges:
+                    touched.add(a)
+                out = []
+                for node in touched:
+                    out.append(node)
+                return out
+        """})
+        assert codes(findings) == ["RL004"]
+
+    def test_comprehension_and_list_materialization_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/loops.py": """
+            def snapshot(peers):
+                frozen = frozenset(peers)
+                ordered = [p for p in frozen]
+                other = list({1, 2} | frozen)
+                return ordered, other
+        """})
+        assert codes(findings) == ["RL004", "RL004"]
+
+    def test_sorted_wrapping_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/loops.py": """
+            def schedule_all(sim, peers):
+                for peer in sorted(set(peers)):
+                    sim.schedule(0.0, peer.tick)
+                return sorted({1, 2, 3})
+        """})
+        assert codes(findings) == []
+
+    def test_membership_tests_are_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/loops.py": """
+            def filter_known(items, known):
+                lookup = set(known)
+                return [item for item in items if item in lookup]
+        """})
+        assert codes(findings) == []
+
+
+# ----------------------------------------------------------------------
+# RL005 — env / platform reads
+# ----------------------------------------------------------------------
+class TestRL005EnvReads:
+    @pytest.mark.parametrize("snippet", [
+        "import os\n\ndef f():\n    return os.environ.get('X')\n",
+        "import os\n\ndef f():\n    return os.getenv('X', '1')\n",
+        "import platform\n\ndef f():\n    return platform.system()\n",
+        "from os import environ\n\ndef f():\n    return environ['X']\n",
+    ])
+    def test_env_reads_flagged_in_execution_zone(self, tmp_path, snippet):
+        findings = lint_tree(tmp_path, {"repro/blockchain/mine.py": snippet})
+        assert codes(findings) == ["RL005"]
+
+    def test_spec_threaded_config_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/blockchain/mine.py": """
+            def difficulty(spec):
+                return spec.architecture.get("difficulty", 1.0)
+        """})
+        assert codes(findings) == []
+
+    def test_outside_the_zone_is_clean(self, tmp_path):
+        # repro.run is the CLI boundary: env reads are legitimate there
+        # and the zone config excludes it.
+        findings = lint_tree(tmp_path, {"repro/run.py": """
+            import os
+
+
+            def runs_dir():
+                return os.environ.get("REPRO_RUNS_DIR", "runs")
+        """})
+        assert codes(findings) == []
+
+
+# ----------------------------------------------------------------------
+# RL006 — ScenarioSpec serialized-form discipline
+# ----------------------------------------------------------------------
+def spec_module(extra_field="", extra_emit="", metrics_emit=True):
+    """A miniature ScenarioSpec module with the real to_dict shape."""
+    conditional = (
+        '                if self.metrics != "exact":\n'
+        '                    data["metrics"] = self.metrics\n'
+        if metrics_emit else ""
+    )
+    return f"""
+        from dataclasses import dataclass, field
+
+
+        @dataclass
+        class ScenarioSpec:
+            name: str
+            family: str
+            description: str = ""
+            claim: str = ""
+            architecture: dict = field(default_factory=dict)
+            topology: dict = field(default_factory=dict)
+            churn: object = None
+            workload: dict = field(default_factory=dict)
+            duration: float = 0.0
+            seed: int = 0
+            replicates: int = 1
+            metrics: str = "exact"
+            sweeps: dict = field(default_factory=dict)
+            variants: dict = field(default_factory=dict)
+{textwrap.indent(extra_field, "            ")}
+            def to_dict(self):
+                data = {{
+                    "name": self.name,
+                    "family": self.family,
+                    "description": self.description,
+                    "claim": self.claim,
+                    "architecture": dict(self.architecture),
+                    "topology": dict(self.topology),
+                    "churn": self.churn,
+                    "workload": dict(self.workload),
+                    "duration": self.duration,
+                    "seed": self.seed,
+                    "replicates": self.replicates,
+                    "sweeps": dict(self.sweeps),
+                    "variants": dict(self.variants),
+{textwrap.indent(extra_emit, "                    ")}
+                }}
+{conditional}
+                return data
+    """
+
+
+DIFF_MODULE = 'OBSERVATIONAL_SPEC_KEYS = ("metrics",)\n'
+
+
+class TestRL006SpecFieldDiscipline:
+    def base_tree(self, **kwargs):
+        return {
+            "repro/scenarios/spec.py": spec_module(**kwargs),
+            "repro/analysis/diff.py": DIFF_MODULE,
+        }
+
+    def test_current_shape_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, self.base_tree())
+        assert codes(findings) == []
+
+    def test_new_unconditional_field_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, self.base_tree(
+            extra_field='backend_hint: str = "auto"\n',
+            extra_emit='"backend_hint": self.backend_hint,\n',
+        ))
+        assert codes(findings) == ["RL006"]
+        (finding,) = [f for f in findings if f.code == "RL006"]
+        assert "backend_hint" in finding.message
+        assert "hash" in finding.message
+
+    def test_new_unregistered_field_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, self.base_tree(
+            extra_field="cache_ttl: int = 0\n",
+        ))
+        assert codes(findings) == ["RL006"]
+        (finding,) = [f for f in findings if f.code == "RL006"]
+        assert "cache_ttl" in finding.message
+
+    def test_conditionally_emitted_field_is_clean(self, tmp_path):
+        # New field emitted behind an if-guard, like metrics: clean.
+        tree = self.base_tree(extra_field='backend_hint: str = "auto"\n')
+        tree["repro/scenarios/spec.py"] = tree[
+            "repro/scenarios/spec.py"
+        ].replace(
+            "                return data",
+            '                if self.backend_hint != "auto":\n'
+            '                    data["backend_hint"] = self.backend_hint\n'
+            "                return data",
+        )
+        findings = lint_tree(tmp_path, tree)
+        assert codes(findings) == []
+
+    def test_observational_registration_is_clean(self, tmp_path):
+        tree = self.base_tree(extra_field="cache_ttl: int = 0\n")
+        tree["repro/analysis/diff.py"] = (
+            'OBSERVATIONAL_SPEC_KEYS = ("metrics", "cache_ttl")\n'
+        )
+        findings = lint_tree(tmp_path, tree)
+        assert codes(findings) == []
+
+    def test_dropped_baseline_field_flagged(self, tmp_path):
+        tree = self.base_tree()
+        tree["repro/scenarios/spec.py"] = tree[
+            "repro/scenarios/spec.py"
+        ].replace('                    "claim": self.claim,\n', "")
+        findings = lint_tree(tmp_path, tree)
+        assert codes(findings) == ["RL006"]
+        (finding,) = [f for f in findings if f.code == "RL006"]
+        assert "claim" in finding.message
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    SNIPPET = (
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time(){directive}\n"
+    )
+
+    def test_reasoned_suppression_silences_and_is_reported(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/clock.py": self.SNIPPET.format(
+                directive="  # reprolint: ok RL002 (profiling aid, "
+                "stripped from metrics)"
+            )
+        })
+        assert codes(findings) == []  # nothing unsuppressed
+        (finding,) = findings
+        assert finding.suppressed
+        assert finding.code == "RL002"
+        assert finding.reason == "profiling aid, stripped from metrics"
+
+    def test_suppression_without_reason_is_rl000(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/clock.py": self.SNIPPET.format(
+                directive="  # reprolint: ok RL002"
+            )
+        })
+        # The RL002 finding survives AND the directive itself is flagged.
+        assert codes(findings) == ["RL000", "RL002"]
+
+    def test_empty_reason_is_rl000(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/clock.py": self.SNIPPET.format(
+                directive="  # reprolint: ok RL002 ( )"
+            )
+        })
+        assert codes(findings) == ["RL000", "RL002"]
+
+    def test_malformed_directive_is_rl000(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/clock.py": self.SNIPPET.format(
+                directive="  # reprolint: silence everything please"
+            )
+        })
+        assert "RL000" in codes(findings)
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/clock.py": self.SNIPPET.format(
+                directive="  # reprolint: ok RL001 (not the right rule)"
+            )
+        })
+        assert codes(findings) == ["RL002"]
+
+    def test_comment_line_directive_covers_next_line(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/clock.py": (
+            "import time\n\n"
+            "def f():\n"
+            "    # reprolint: ok RL002 (wall time reported, not simulated)\n"
+            "    return time.time()\n"
+        )})
+        assert codes(findings) == []
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_multi_code_directive(self, tmp_path):
+        findings = lint_tree(tmp_path, {"repro/sim/clock.py": (
+            "import time\n"
+            "import os\n\n"
+            "def f():\n"
+            "    return time.time(), os.getenv('X')"
+            "  # reprolint: ok RL002,RL005 (diagnostics banner only)\n"
+        )})
+        assert codes(findings) == []
+        assert sorted(f.code for f in findings) == ["RL002", "RL005"]
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes, JSON shape, explain, config
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_exit_0_on_clean_tree(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/sim/ok.py": "X = 1\n"})
+        assert main([str(root / "repro"), "--root", str(root)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        root = make_tree(
+            tmp_path, {"repro/sim/rng2.py": HISTORICAL_FORK_BUG}
+        )
+        assert main([str(root / "repro"), "--root", str(root)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RL001" in out
+
+    def test_exit_2_on_missing_path(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == EXIT_USAGE
+
+    def test_exit_2_on_unknown_explain_code(self):
+        assert main(["--explain", "RL999"]) == EXIT_USAGE
+
+    def test_exit_2_on_bad_config(self, tmp_path):
+        bad = tmp_path / "zones.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        root = make_tree(tmp_path, {"repro/sim/ok.py": "X = 1\n"})
+        assert main(
+            [str(root / "repro"), "--config", str(bad)]
+        ) == EXIT_USAGE
+
+    def test_explain_every_registered_rule(self, capsys):
+        for code, rule in sorted(RULES_BY_CODE.items()):
+            assert main(["--explain", code]) == EXIT_OK
+            out = capsys.readouterr().out
+            assert code in out
+            assert rule.summary in out
+            assert "reprolint: ok" in out  # suppression policy shown
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for code in RULES_BY_CODE:
+            assert code in out
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {
+            "repro/sim/rng2.py": HISTORICAL_FORK_BUG,
+            "repro/sim/clock.py": (
+                "import time\n\n"
+                "def f():\n"
+                "    return time.time()"
+                "  # reprolint: ok RL002 (banner only)\n"
+            ),
+        })
+        code = main([str(root / "repro"), "--root", str(root),
+                     "--json", "-", "--quiet"])
+        assert code == EXIT_FINDINGS
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == JSON_VERSION
+        assert report["clean"] is False
+        assert report["counts"]["total"] == 2
+        assert report["counts"]["suppressed"] == 1
+        assert report["counts"]["unsuppressed"] == 1
+        assert report["counts"]["by_code"]["RL001"] == {
+            "total": 1, "suppressed": 0,
+        }
+        assert report["counts"]["by_code"]["RL002"] == {
+            "total": 1, "suppressed": 1,
+        }
+        entries = {f["code"]: f for f in report["findings"]}
+        rl001 = entries["RL001"]
+        assert rl001["module"] == "repro.sim.rng2"
+        assert rl001["path"].endswith("rng2.py")
+        assert rl001["line"] > 0
+        assert rl001["suppressed"] is False
+        assert entries["RL002"]["suppressed"] is True
+        assert entries["RL002"]["reason"] == "banner only"
+
+    def test_json_report_to_file(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/sim/ok.py": "X = 1\n"})
+        out = tmp_path / "report.json"
+        assert main([str(root / "repro"), "--root", str(root),
+                     "--json", str(out), "--quiet"]) == EXIT_OK
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["clean"] is True
+        assert report["findings"] == []
+
+    def test_config_file_allowlists_a_zone(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "repro/sim/clock.py":
+                "import time\n\ndef f():\n    return time.time()\n",
+        })
+        zones = tmp_path / "zones.json"
+        zones.write_text(
+            json.dumps({"RL002": {"allow": ["repro.sim.clock"]}}),
+            encoding="utf-8",
+        )
+        assert main([str(root / "repro"), "--root", str(root),
+                     "--quiet"]) == EXIT_FINDINGS
+        assert main([str(root / "repro"), "--root", str(root),
+                     "--quiet", "--config", str(zones)]) == EXIT_OK
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/sim/broken.py": "def f(:\n"})
+        assert main([str(root / "repro"), "--root", str(root)]) \
+            == EXIT_FINDINGS
+        assert "RL000" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Zones / framework plumbing
+# ----------------------------------------------------------------------
+class TestZones:
+    def test_module_pattern_matches_submodules(self):
+        assert module_in("repro.sim.engine", ("repro.sim",))
+        assert module_in("repro.sim", ("repro.sim",))
+        assert not module_in("repro.simulate", ("repro.sim",))
+        assert module_in("repro.p2p.fastkad", ("repro.*",))
+
+    def test_module_name_resolution(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/sim/engine.py": "X = 1\n"})
+        assert module_name(root / "repro/sim/engine.py", root) \
+            == "repro.sim.engine"
+        assert module_name(root / "repro/sim/__init__.py", root) \
+            == "repro.sim"
+
+    def test_default_config_covers_every_rule(self):
+        config = default_config()
+        for rule in ALL_RULES:
+            assert rule.code in config.zones, rule.code
+
+    def test_rules_have_stable_metadata(self):
+        for rule in ALL_RULES:
+            assert rule.code.startswith("RL") and len(rule.code) == 5
+            assert rule.summary and rule.rationale and rule.fixit
+
+
+# ----------------------------------------------------------------------
+# The shipped tree itself
+# ----------------------------------------------------------------------
+class TestShippedTree:
+    def test_repo_lints_clean(self):
+        import repro
+
+        package = Path(repro.__file__).resolve().parent
+        findings, files = lint_paths(
+            [package], ALL_RULES, default_config(), package.parent
+        )
+        unsuppressed = [f for f in findings if not f.suppressed]
+        assert unsuppressed == [], [f.render() for f in unsuppressed]
+        assert files > 50  # the walk really covered the package
+        # The documented exceptions stay visible (and reasoned).
+        assert all(f.reason for f in findings if f.suppressed)
