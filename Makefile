@@ -1,6 +1,6 @@
 PY := python
 
-.PHONY: test bench bench-update experiments goldens smoke chaos lint typecheck
+.PHONY: test bench bench-update experiments goldens smoke chaos distributed lint typecheck
 
 # Correctness gates, quickest first:
 #   make lint       reprolint determinism/purity contract (RL001-RL006);
@@ -65,6 +65,14 @@ chaos:
 	  --set bitcoin.architecture.duration_blocks=15 \
 	  --set ethereum.architecture.duration_blocks=45 \
 	  --set pbft.duration=1.0 --set fabric.duration=1.0 --set edge.duration=1.0
+
+# Distributed-execution gate: start a broker subprocess and two worker
+# subprocesses (one with a scripted first-attempt kill in its fault plan),
+# run the trimmed figure1 study through DistributedBackend, and assert the
+# saved run has an empty failure manifest and is byte-identical to the
+# committed study golden despite the mid-run worker death.
+distributed:
+	PYTHONPATH=src $(PY) -m repro.distributed.smoke
 
 # Fast end-to-end smoke of the scenario runner: one trimmed scenario per
 # architecture family plus the trimmed figure1 cross-family study — once

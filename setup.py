@@ -39,6 +39,9 @@ setup(
         "console_scripts": [
             "repro-run = repro.run:main",
             "repro-lint = repro.analysis.lint.cli:main",
+            "repro-broker = repro.distributed.broker:main",
+            "repro-worker = repro.distributed.worker:main",
+            "repro-serve = repro.distributed.service:main",
         ],
     },
 )

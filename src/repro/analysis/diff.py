@@ -42,7 +42,11 @@ maps for recurring comparisons — ``"sketch"`` bounds the agreement
 between streaming-sketch and exact metrics collection
 (:mod:`repro.sim.metrics`), ``"latency"`` absorbs the sampling noise of
 latency percentiles across seeds/nights while keeping everything else
-tight.
+tight, and ``"cross-substrate"`` compares the scalar and vectorized
+(``kad-fast``) Kademlia substrates at overlapping network sizes —
+ignoring fast-path-only bookkeeping metrics and (being a
+:data:`SPEC_DRIFT_PROFILES` member) pairing across the deliberate
+``architecture.overlay`` spec difference.
 
 The CLI front end is ``repro-run diff A B [--profile NAME]
 [--tol metric=rel]`` where A/B are RunStore names, JSON paths, or ``-``
@@ -75,10 +79,17 @@ class Tolerance:
     The reference side of the relative term is A (the baseline run), so a
     5% tolerance means "within 5% of where we started".  The default is
     exact equality — the right contract for fixed-seed golden comparisons.
+
+    ``ignore=True`` drops the metric from the comparison entirely: it is
+    neither judged numerically nor counted as a one-sided
+    (``only_a``/``only_b``) asymmetry.  This is how cross-substrate
+    profiles absorb bookkeeping metrics only one implementation reports
+    (the fast path's ``events_processed``, for example).
     """
 
     rel: float = 0.0
     abs: float = 0.0
+    ignore: bool = False
 
     def __post_init__(self) -> None:
         if self.rel < 0.0 or self.abs < 0.0:
@@ -86,10 +97,15 @@ class Tolerance:
 
     def allows(self, a: float, b: float) -> bool:
         """Whether a baseline value ``a`` drifting to ``b`` is acceptable."""
+        if self.ignore:
+            return True
         return abs(a - b) <= self.abs + self.rel * abs(a)
 
-    def to_dict(self) -> Dict[str, float]:
-        return {"rel": self.rel, "abs": self.abs}
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"rel": self.rel, "abs": self.abs}
+        if self.ignore:
+            data["ignore"] = True
+        return data
 
 
 def parse_tolerance(argument: str) -> Tuple[str, Tolerance]:
@@ -101,14 +117,17 @@ def parse_tolerance(argument: str) -> Tuple[str, Tolerance]:
         --tol throughput_tps=0.05          5% relative
         --tol latency_mean_s=abs:0.002     2 ms absolute
         --tol stale_rate=rel:0.1,abs:1e-6  both terms
+        --tol events_processed=ignore      drop the metric entirely
     """
     metric, separator, value = argument.partition("=")
     metric = metric.strip()
     if not separator or not metric or not value.strip():
         raise ValueError(
-            f"--tol expects METRIC=REL (or METRIC=abs:X / rel:X,abs:Y), "
-            f"got {argument!r}"
+            f"--tol expects METRIC=REL (or METRIC=abs:X / rel:X,abs:Y / "
+            f"METRIC=ignore), got {argument!r}"
         )
+    if value.strip().lower() == "ignore":
+        return metric, Tolerance(ignore=True)
     rel = 0.0
     absolute = 0.0
     for part in value.split(","):
@@ -187,7 +206,41 @@ TOLERANCE_PROFILES: Dict[str, Dict[str, Tolerance]] = {
         "fraction_within_*": Tolerance(abs=0.05),
         "*": Tolerance(rel=0.05),
     },
+    # Scalar (event-driven) vs vectorized (kad-fast) Kademlia at the same
+    # overlay size: two *models* of the same system, not two runs of the
+    # same model.  Latency and hop distributions should land in the same
+    # regime but never match exactly; fast-path bookkeeping metrics with
+    # no scalar counterpart are dropped outright.  Used with
+    # ``spec_changed_ok`` pairing (the two sides differ in
+    # ``architecture.overlay`` by construction, so spec drift is the
+    # premise of the comparison, not a failure of it).
+    "cross-substrate": {
+        "online_fraction": Tolerance(ignore=True),
+        "events_processed": Tolerance(ignore=True),
+        "churn_rate_per_hour": Tolerance(ignore=True),
+        "lookups": Tolerance(),  # same workload on both sides, exactly
+        "p99_latency_s": Tolerance(rel=0.60, abs=0.5),
+        "p90_latency_s": Tolerance(rel=0.50, abs=0.25),
+        "*_latency_s": Tolerance(rel=0.50, abs=0.25),
+        "fraction_within_*": Tolerance(abs=0.15),
+        "failure_rate": Tolerance(abs=0.10),
+        "timeouts_per_lookup": Tolerance(rel=0.75, abs=0.5),
+        # The scalar path counts every parallel RPC as a hop; the fast
+        # path counts iterative routing depth.  Same O(log N) shape,
+        # different constant — hence the wide relative band.
+        "hops_per_lookup": Tolerance(rel=0.80, abs=0.5),
+        "routing_staleness": Tolerance(abs=0.20),
+        "*": Tolerance(rel=0.50),
+    },
 }
+
+#: Profiles whose comparison *expects* the paired specs to differ (the
+#: two sides deliberately run different substrates/knobs), so a pair
+#: matched by (scenario, label) identity is judged on its metrics alone
+#: instead of being forced to ``changed`` by the spec divergence.  The
+#: CLI passes ``spec_changed_ok=True`` to :func:`diff_resultsets` for
+#: these.
+SPEC_DRIFT_PROFILES = frozenset({"cross-substrate"})
 
 
 def tolerance_profile(name: str) -> Dict[str, Tolerance]:
@@ -467,13 +520,27 @@ def _ci_overlap(a_result, b_result, metric: str) -> Optional[bool]:
 
 
 def _compare_pair(key: str, a_result, b_result, spec_changed: bool,
-                  tolerances: Optional[Mapping[str, Tolerance]]) -> UnitDiff:
-    """Numeric comparison of one matched pair of results."""
+                  tolerances: Optional[Mapping[str, Tolerance]],
+                  spec_changed_ok: bool = False) -> UnitDiff:
+    """Numeric comparison of one matched pair of results.
+
+    Metrics whose resolved :class:`Tolerance` has ``ignore`` set are
+    excluded from both the delta list and the one-sided
+    (``only_a``/``only_b``) bookkeeping.  ``spec_changed_ok`` stops a
+    ``spec_changed`` pair from being forced to *changed*: the verdict
+    then rests on the metrics alone (the ``spec_changed`` flag is still
+    recorded and rendered).
+    """
+    def _ignored(metric: str) -> bool:
+        return tolerance_for(metric, tolerances).ignore
+
     a_metrics = a_result.metrics
     b_metrics = b_result.metrics
     shared = sorted(set(a_metrics) & set(b_metrics))
     deltas = []
     for metric in shared:
+        if _ignored(metric):
+            continue
         a_value = a_metrics[metric]
         b_value = b_metrics[metric]
         within = tolerance_for(metric, tolerances).allows(a_value, b_value)
@@ -483,10 +550,12 @@ def _compare_pair(key: str, a_result, b_result, spec_changed: bool,
             metric=metric, a=a_value, b=b_value, within=within,
             ci_overlap=_ci_overlap(a_result, b_result, metric),
         ))
-    only_a = sorted(set(a_metrics) - set(b_metrics))
-    only_b = sorted(set(b_metrics) - set(a_metrics))
-    changed = spec_changed or only_a or only_b or any(
-        not delta.within for delta in deltas)
+    only_a = sorted(metric for metric in set(a_metrics) - set(b_metrics)
+                    if not _ignored(metric))
+    only_b = sorted(metric for metric in set(b_metrics) - set(a_metrics)
+                    if not _ignored(metric))
+    changed = (spec_changed and not spec_changed_ok) or only_a or only_b \
+        or any(not delta.within for delta in deltas)
     return UnitDiff(
         key=key,
         scenario=b_result.scenario,
@@ -505,6 +574,7 @@ def diff_resultsets(
     tolerances: Optional[Mapping[str, Tolerance]] = None,
     a_label: str = "A",
     b_label: str = "B",
+    spec_changed_ok: bool = False,
 ) -> DiffReport:
     """Compare two ResultSets structurally and numerically.
 
@@ -513,6 +583,12 @@ def diff_resultsets(
     stable slot — the flipped-seed case — reports as *changed* with
     ``spec_changed`` set rather than as an add/remove pair.  Everything
     still unmatched is *removed* (A only) or *added* (B only).
+
+    ``spec_changed_ok=True`` makes spec-divergent pairs acceptable: they
+    are judged on their metrics only.  This is the pairing mode of
+    :data:`SPEC_DRIFT_PROFILES` comparisons (e.g. ``cross-substrate``),
+    where the two sides run *different* substrates of the same scenario
+    on purpose.
     """
     a_keyed = _keyed(a)
     b_keyed = _keyed(b)
@@ -540,7 +616,8 @@ def diff_resultsets(
                 del removed_leftovers[identity]
             units.append(_compare_pair(f"{a_key}->{key}", a_result, result,
                                        spec_changed=True,
-                                       tolerances=tolerances))
+                                       tolerances=tolerances,
+                                       spec_changed_ok=spec_changed_ok))
         else:
             added_leftovers.append((key, result))
 

@@ -102,15 +102,17 @@ def default_config() -> LintConfig:
         # linter itself included.
         "RL001": ZoneConfig(apply=("repro",)),
         # Wall-clock reads are banned wherever results are computed.
-        # Supervision timers, run-store timestamps and the fault harness
-        # are allowlisted: their clocks decide *when* to retry or *what*
-        # to label a saved run, never what a metric is worth.
+        # Supervision timers, run-store timestamps, the fault harness and
+        # the distributed transport (lease deadlines, heartbeats) are
+        # allowlisted: their clocks decide *when* to retry or *what* to
+        # label a saved run, never what a metric is worth.
         "RL002": ZoneConfig(
             apply=("repro",),
             allow=(
                 "repro.scenarios.execution",
                 "repro.scenarios.faults",
                 "repro.analysis.runstore",
+                "repro.distributed",
             ),
         ),
         # Global/module-level RNG bypasses SeededRNG seed-pinning; only the

@@ -1,0 +1,131 @@
+""":class:`DistributedBackend` — run an ExecutionPlan through a broker.
+
+The backend is a straight client of the broker protocol: it submits the
+plan's pending unit jobs plus the run's
+:class:`~repro.scenarios.execution.JobPolicy`, then consumes the event
+stream, merging each ``job-done`` by content-addressed job key.  Metrics
+ride the wire as JSON, whose float round-trip is exact (shortest-repr),
+so the assembled output is byte-identical to :class:`SerialBackend` at
+any worker count and any completion order — the same merge-by-key
+argument the process-pool backend makes, stretched across hosts.
+
+Failure semantics mirror the in-process supervised backends: retries and
+backoff happen broker-side with the same deterministic schedule, a job
+that exhausts its budget arrives as a ``job-failed`` event carrying the
+:class:`~repro.scenarios.execution.JobFailure`, and ``keep_going``
+selects between collecting it into the caller's failure manifest and
+aborting with :class:`~repro.scenarios.execution.JobExecutionError`
+(closing the connection cancels the run broker-side).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.distributed.broker import policy_to_dict
+from repro.distributed.protocol import connect, recv_frame, send_frame
+from repro.scenarios.execution import (
+    ExecutionBackend,
+    ExecutionPlan,
+    JobExecutionError,
+    JobFailure,
+    JobPolicy,
+    ProgressCallback,
+    UnitJob,
+)
+
+_RUN_SEQ = itertools.count(1)
+
+
+class DistributedBackend(ExecutionBackend):
+    """Execute unit jobs on workers attached to a ``repro-broker``.
+
+    ``broker`` is the broker address (``HOST:PORT`` or ``unix:/path``).
+    ``run_id`` overrides the auto-derived run identifier (useful for
+    tests); it only names the run broker-side and never affects results.
+    """
+
+    def __init__(self, broker: str, run_id: Optional[str] = None,
+                 connect_timeout: float = 10.0) -> None:
+        self.broker = broker
+        self.run_id = run_id
+        self.connect_timeout = connect_timeout
+
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        completed: Optional[Mapping[str, Dict[str, float]]] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_result: Optional[Callable[[str, Dict[str, float]], None]] = None,
+        policy: Optional[JobPolicy] = None,
+        failures: Optional[Dict[str, JobFailure]] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        pending = self.pending_jobs(plan, completed)
+        if not pending:
+            return {}
+        policy = policy or JobPolicy()
+        jobs_by_key = {job.key: job for job in pending}
+        run_id = self.run_id or (
+            f"{plan.name or 'plan'}-{os.getpid()}-{next(_RUN_SEQ)}")
+        total = len(plan.jobs)
+        done = total - len(pending)
+        fresh: Dict[str, Dict[str, float]] = {}
+
+        conn = connect(self.broker, timeout=self.connect_timeout)
+        try:
+            send_frame(conn, {
+                "type": "submit",
+                "run": run_id,
+                "policy": policy_to_dict(policy),
+                "jobs": [self._wire_job(job) for job in pending],
+            })
+            reply = recv_frame(conn)
+            if reply is None or reply.get("type") != "submitted":
+                raise ConnectionError(
+                    f"broker {self.broker} rejected run {run_id!r}: "
+                    f"{(reply or {}).get('error', 'connection closed')}")
+            while True:
+                event = recv_frame(conn)
+                if event is None:
+                    raise ConnectionError(
+                        f"broker {self.broker} closed the stream mid-run "
+                        f"({done}/{total} jobs done)")
+                kind = event.get("type")
+                if kind == "tick":
+                    continue
+                if kind == "job-done":
+                    key = str(event["key"])
+                    metrics = dict(event.get("metrics") or {})  # type: ignore[arg-type]
+                    fresh[key] = metrics
+                    if on_result is not None:
+                        on_result(key, metrics)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs_by_key.get(key))
+                    continue
+                if kind == "job-failed":
+                    failure = JobFailure.from_dict(
+                        event.get("failure") or {})  # type: ignore[arg-type]
+                    if failures is not None:
+                        failures[failure.key] = failure
+                    if not policy.keep_going:
+                        # Closing the connection cancels the run broker-side.
+                        raise JobExecutionError(failure)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs_by_key.get(failure.key))
+                    continue
+                if kind == "run-done":
+                    return fresh
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _wire_job(job: UnitJob) -> Dict[str, object]:
+        return {"key": job.key, "spec": job.spec.to_dict(),
+                "seed": job.seed, "scenario": job.spec.name}

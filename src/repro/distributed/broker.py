@@ -1,0 +1,557 @@
+"""``repro-broker``: the job queue at the centre of distributed execution.
+
+The broker holds submitted runs — each an ordered list of seed-pinned
+unit jobs plus a :class:`~repro.scenarios.execution.JobPolicy` — and
+dispatches them to workers under *leases*: a leased job belongs to one
+worker until it reports ``complete``/``fail`` or its lease expires
+(missed heartbeats, dropped connection).  The accounting mirrors the
+in-process supervised backends exactly:
+
+- a **reported failure** charges one attempt; below the policy's budget
+  the job is requeued after the policy's deterministic
+  :meth:`~repro.scenarios.execution.JobPolicy.backoff_delay`, past it the
+  job becomes a :class:`~repro.scenarios.execution.JobFailure` in the
+  run's manifest;
+- a **lost lease** (worker disconnect or expiry) requeues the job
+  *uncharged* at the same attempt number — infrastructure failures never
+  eat into a job's retry budget, matching how the pool backend requeues
+  innocents after a hung-worker kill;
+- a **duplicate completion** for an already-settled lease is dropped
+  (first report wins), so a worker that was presumed dead but limps back
+  cannot double-report.
+
+Because unit jobs are pure functions of ``(spec, seed)``, any sequence of
+retries, requeues and worker deaths converges on the same metrics, and
+the submitting client's merge-by-key output is byte-identical to a
+serial run.
+
+The queue logic (:class:`BrokerQueue`) is pure threads-and-state with no
+sockets, so the lease/retry/accounting behaviour is unit-testable
+without a network; :class:`BrokerServer` wraps it in a thread-per-
+connection frame loop.  Run as a process::
+
+    repro-broker --listen 127.0.0.1:7480
+    repro-broker --listen unix:/tmp/repro-broker.sock
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Queue
+from typing import Dict, List, Optional, Sequence
+
+from repro.distributed.protocol import (
+    FrameError,
+    create_listener,
+    listener_address,
+    recv_frame,
+    send_frame,
+)
+from repro.scenarios.execution import JobFailure, JobPolicy
+
+#: Seconds a lease lives without a heartbeat before the job is requeued.
+DEFAULT_LEASE_TTL_S = 15.0
+
+_POLICY_FIELDS = ("max_retries", "timeout_s", "keep_going", "backoff_base_s",
+                  "backoff_factor", "backoff_max_s", "backoff_jitter")
+
+
+def policy_to_dict(policy: JobPolicy) -> Dict[str, object]:
+    """A JobPolicy as plain wire data."""
+    return {name: getattr(policy, name) for name in _POLICY_FIELDS}
+
+
+def policy_from_dict(data: Optional[Dict[str, object]]) -> JobPolicy:
+    """Rebuild a JobPolicy from wire data (missing fields keep defaults)."""
+    data = data or {}
+    kwargs = {name: data[name] for name in _POLICY_FIELDS if name in data}
+    return JobPolicy(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass
+class _Job:
+    """One unit job inside a submitted run."""
+
+    key: str
+    spec: Dict[str, object]
+    seed: int
+    scenario: str
+    priority: int
+    state: str = "pending"  # pending | leased | done | failed
+    failed_attempts: int = 0
+    first_dispatch: Optional[float] = None
+
+
+@dataclass
+class _Run:
+    """One submitted run: its jobs, policy and event stream."""
+
+    run_id: str
+    policy: JobPolicy
+    jobs: Dict[str, _Job] = field(default_factory=dict)
+    events: "Queue[Dict[str, object]]" = field(default_factory=Queue)
+    open_jobs: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: bool = False
+
+
+@dataclass
+class _Lease:
+    """One dispatched job: who holds it and until when."""
+
+    lease_id: str
+    run_id: str
+    key: str
+    worker: str
+    attempt: int
+    deadline: float
+
+
+class BrokerQueue:
+    """The broker's job queue and lease table (no sockets, fully locked).
+
+    All methods are thread-safe.  ``lease`` blocks up to ``wait_s`` for a
+    ready job and returns a wire-shaped payload dict (``job`` / ``idle``
+    / ``stop``), so the server can forward it verbatim.
+    """
+
+    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
+        self.lease_ttl = float(lease_ttl)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._runs: Dict[str, _Run] = {}
+        #: (ready_at, run_seq, priority, seq, run_id, key) — plan order
+        #: within a run, submission order across runs, backoff-aware.
+        self._heap: List[tuple] = []
+        self._leases: Dict[str, _Lease] = {}
+        self._run_seq = itertools.count()
+        self._run_order: Dict[str, int] = {}
+        self._seq = itertools.count()
+        self._lease_seq = itertools.count(1)
+        self._stopping = False
+
+    # -- submission ----------------------------------------------------
+    def submit(self, run_id: str, jobs: Sequence[Dict[str, object]],
+               policy: Optional[JobPolicy] = None) -> "Queue[Dict[str, object]]":
+        """Enqueue a run's jobs; returns its event stream.
+
+        ``jobs`` entries are dicts with ``key``, ``spec`` (a ScenarioSpec
+        ``to_dict``), ``seed`` and ``scenario``.  An empty job list
+        completes immediately (the ``run-done`` event is pre-queued).
+        """
+        with self._lock:
+            if run_id in self._runs:
+                raise ValueError(f"run {run_id!r} already submitted")
+            run = _Run(run_id=run_id, policy=policy or JobPolicy())
+            self._runs[run_id] = run
+            self._run_order[run_id] = next(self._run_seq)
+            for index, entry in enumerate(jobs):
+                key = str(entry["key"])
+                if key in run.jobs:
+                    continue  # plans deduplicate; tolerate a duplicate key
+                run.jobs[key] = _Job(
+                    key=key,
+                    spec=dict(entry["spec"]),  # type: ignore[arg-type]
+                    seed=int(entry["seed"]),  # type: ignore[arg-type]
+                    scenario=str(entry.get("scenario", "")),
+                    priority=index,
+                )
+                run.open_jobs += 1
+                self._push(run_id, run.jobs[key], ready_at=0.0)
+            if run.open_jobs == 0:
+                self._finish_run(run)
+            self._ready.notify_all()
+            return run.events
+
+    def cancel(self, run_id: str) -> None:
+        """Drop a run: pending jobs are discarded, in-flight results too."""
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is not None:
+                run.cancelled = True
+
+    # -- dispatch ------------------------------------------------------
+    def lease(self, worker: str, wait_s: float = 0.0) -> Dict[str, object]:
+        """The next ready job for ``worker``; blocks up to ``wait_s``.
+
+        Returns ``{"type": "job", ...}`` with the lease id, spec, seed,
+        attempt number and timeout, ``{"type": "idle"}`` when nothing
+        became ready in time, or ``{"type": "stop"}`` when the broker is
+        shutting down.
+        """
+        deadline = time.monotonic() + max(0.0, wait_s)
+        with self._ready:
+            while True:
+                if self._stopping:
+                    return {"type": "stop"}
+                now = time.monotonic()
+                self._expire_locked(now)
+                entry = self._pop_ready(now)
+                if entry is not None:
+                    return self._grant(entry, worker, now)
+                remaining = deadline - now
+                if remaining <= 0:
+                    return {"type": "idle"}
+                if self._heap:
+                    remaining = min(remaining, self._heap[0][0] - now)
+                self._ready.wait(timeout=max(0.01, remaining))
+
+    def heartbeat(self, lease_id: str) -> bool:
+        """Extend a live lease; ``False`` when it is gone (stale worker)."""
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return False
+            lease.deadline = time.monotonic() + self.lease_ttl
+            return True
+
+    # -- settlement ----------------------------------------------------
+    def complete(self, lease_id: str, metrics: Dict[str, float],
+                 cached: bool = False) -> bool:
+        """Settle a lease with metrics; ``False`` drops a stale duplicate."""
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                return False  # expired/duplicate: the first report won
+            run = self._runs[lease.run_id]
+            job = run.jobs[lease.key]
+            job.state = "done"
+            run.open_jobs -= 1
+            run.completed += 1
+            if not run.cancelled:
+                run.events.put({
+                    "type": "job-done", "key": job.key,
+                    "metrics": dict(metrics), "worker": lease.worker,
+                    "cached": bool(cached),
+                })
+            if run.open_jobs == 0:
+                self._finish_run(run)
+            return True
+
+    def fail(self, lease_id: str, kind: str, error: str) -> bool:
+        """Settle a lease with a failure: charge an attempt, retry or
+        manifest per the run's policy; ``False`` drops a stale report."""
+        with self._ready:
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                return False
+            run = self._runs[lease.run_id]
+            job = run.jobs[lease.key]
+            job.failed_attempts += 1
+            policy = run.policy
+            if job.failed_attempts < policy.attempts and not run.cancelled:
+                job.state = "pending"
+                delay = policy.backoff_delay(job.key, job.failed_attempts)
+                self._push(run.run_id, job,
+                           ready_at=time.monotonic() + delay)
+                self._ready.notify_all()
+                return True
+            job.state = "failed"
+            run.open_jobs -= 1
+            run.failed += 1
+            started = job.first_dispatch or time.monotonic()
+            failure = JobFailure(
+                key=job.key, scenario=job.scenario, seed=job.seed,
+                kind=kind, error=error, attempts=job.failed_attempts,
+                elapsed_s=time.monotonic() - started,
+            )
+            if not run.cancelled:
+                run.events.put({"type": "job-failed", "key": job.key,
+                                "failure": failure.to_dict()})
+            if run.open_jobs == 0:
+                self._finish_run(run)
+            return True
+
+    # -- lease loss (uncharged requeue) --------------------------------
+    def release_worker(self, worker: str) -> int:
+        """Requeue every lease held by a departed worker, uncharged."""
+        with self._ready:
+            lost = [lease for lease in self._leases.values()
+                    if lease.worker == worker]
+            for lease in lost:
+                self._requeue_locked(lease)
+            if lost:
+                self._ready.notify_all()
+            return len(lost)
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Requeue every lease past its heartbeat deadline, uncharged."""
+        with self._ready:
+            count = self._expire_locked(now if now is not None
+                                        else time.monotonic())
+            if count:
+                self._ready.notify_all()
+            return count
+
+    # -- lifecycle / introspection -------------------------------------
+    def stop(self) -> None:
+        """Tell every waiting worker to exit (lease returns ``stop``)."""
+        with self._ready:
+            self._stopping = True
+            self._ready.notify_all()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            runs = {
+                run_id: {
+                    "open": run.open_jobs, "completed": run.completed,
+                    "failed": run.failed, "cancelled": run.cancelled,
+                }
+                for run_id, run in sorted(self._runs.items())
+            }
+            return {"runs": runs, "leases": len(self._leases),
+                    "queued": len(self._heap)}
+
+    # -- internals (call with the lock held) ---------------------------
+    def _push(self, run_id: str, job: _Job, ready_at: float) -> None:
+        heapq.heappush(self._heap, (ready_at, self._run_order[run_id],
+                                    job.priority, next(self._seq),
+                                    run_id, job.key))
+
+    def _pop_ready(self, now: float) -> Optional[tuple]:
+        """The first heap entry whose job is still pending and ready."""
+        while self._heap:
+            ready_at, _, _, _, run_id, key = self._heap[0]
+            run = self._runs.get(run_id)
+            job = run.jobs.get(key) if run is not None else None
+            if job is None or job.state != "pending" or run.cancelled:
+                heapq.heappop(self._heap)
+                if (job is not None and run.cancelled
+                        and job.state == "pending"):
+                    # Account the dropped job so a cancelled run drains.
+                    job.state = "failed"
+                    run.open_jobs -= 1
+                continue
+            if ready_at > now:
+                return None
+            return heapq.heappop(self._heap)
+        return None
+
+    def _grant(self, entry: tuple, worker: str, now: float) -> Dict[str, object]:
+        _, _, _, _, run_id, key = entry
+        run = self._runs[run_id]
+        job = run.jobs[key]
+        job.state = "leased"
+        if job.first_dispatch is None:
+            job.first_dispatch = now
+        lease = _Lease(
+            lease_id=f"L{next(self._lease_seq)}",
+            run_id=run_id, key=key, worker=worker,
+            attempt=job.failed_attempts + 1,
+            deadline=now + self.lease_ttl,
+        )
+        self._leases[lease.lease_id] = lease
+        return {
+            "type": "job",
+            "lease": lease.lease_id,
+            "key": job.key,
+            "spec": job.spec,
+            "seed": job.seed,
+            "scenario": job.scenario,
+            "attempt": lease.attempt,
+            "timeout_s": run.policy.timeout_s,
+            "lease_ttl": self.lease_ttl,
+        }
+
+    def _requeue_locked(self, lease: _Lease) -> None:
+        """Return a lost lease's job to the queue at the same attempt."""
+        self._leases.pop(lease.lease_id, None)
+        run = self._runs.get(lease.run_id)
+        job = run.jobs.get(lease.key) if run is not None else None
+        if job is None or job.state != "leased":
+            return
+        job.state = "pending"
+        self._push(lease.run_id, job, ready_at=0.0)
+
+    def _expire_locked(self, now: float) -> int:
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline < now]
+        for lease in expired:
+            self._requeue_locked(lease)
+        return len(expired)
+
+    def _finish_run(self, run: _Run) -> None:
+        run.events.put({"type": "run-done", "run": run.run_id,
+                        "completed": run.completed, "failed": run.failed})
+
+
+class BrokerServer:
+    """Thread-per-connection frame server around a :class:`BrokerQueue`.
+
+    Handles ``hello``/``lease``/``heartbeat``/``complete``/``fail`` from
+    workers, ``submit`` (stream events until ``run-done``) from clients,
+    and ``ping``/``stats``/``shutdown`` from anyone.  A submit stream
+    emits a ``tick`` keep-alive every few seconds so a dead client is
+    detected and its run cancelled instead of leaking.
+    """
+
+    #: Seconds between keep-alive ticks on an idle submit stream.
+    TICK_S = 5.0
+
+    def __init__(self, listen: str = "127.0.0.1:0",
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S,
+                 queue: Optional[BrokerQueue] = None) -> None:
+        self.queue = queue or BrokerQueue(lease_ttl)
+        self._listener = create_listener(listen)
+        self.address = listener_address(self._listener)
+        self._threads: List[threading.Thread] = []
+        self._conn_seq = itertools.count(1)
+        self._shutdown = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Start the accept loop and the lease reaper (daemon threads)."""
+        for target, name in ((self._accept_loop, "broker-accept"),
+                             (self._reaper_loop, "broker-reaper")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        self._shutdown.set()
+        self.queue.stop()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def serve_forever(self) -> None:
+        self.start()
+        self._shutdown.wait()
+
+    # -- loops ---------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._handle, args=(conn,),
+                name=f"broker-conn-{next(self._conn_seq)}", daemon=True)
+            thread.start()
+
+    def _reaper_loop(self) -> None:
+        interval = max(0.5, self.queue.lease_ttl / 4.0)
+        while not self._shutdown.wait(interval):
+            self.queue.expire()
+
+    # -- per-connection handling ---------------------------------------
+    def _handle(self, conn) -> None:
+        worker_id: Optional[str] = None
+        try:
+            while True:
+                message = recv_frame(conn)
+                if message is None:
+                    return
+                kind = str(message.get("type", ""))
+                if kind == "hello":
+                    name = str(message.get("worker", "worker"))
+                    worker_id = f"{name}#{threading.get_ident()}"
+                elif kind == "lease":
+                    wait_s = float(message.get("wait_s", 0.0))  # type: ignore[arg-type]
+                    send_frame(conn, self.queue.lease(
+                        worker_id or "anonymous", wait_s))
+                elif kind == "heartbeat":
+                    self.queue.heartbeat(str(message.get("lease", "")))
+                elif kind == "complete":
+                    self.queue.complete(
+                        str(message.get("lease", "")),
+                        dict(message.get("metrics") or {}),  # type: ignore[arg-type]
+                        cached=bool(message.get("cached", False)))
+                elif kind == "fail":
+                    self.queue.fail(str(message.get("lease", "")),
+                                    str(message.get("kind", "exception")),
+                                    str(message.get("error", "")))
+                elif kind == "submit":
+                    self._handle_submit(conn, message)
+                elif kind == "ping":
+                    send_frame(conn, {"type": "pong"})
+                elif kind == "stats":
+                    send_frame(conn, {"type": "stats", **self.queue.stats()})
+                elif kind == "shutdown":
+                    send_frame(conn, {"type": "bye"})
+                    self.stop()
+                    return
+                elif not self._handle_extra(conn, kind, message):
+                    send_frame(conn, {"type": "error",
+                                      "error": f"unknown message type {kind!r}"})
+        except (FrameError, OSError, ValueError):
+            pass  # a dead or misbehaving peer only loses its own session
+        finally:
+            if worker_id is not None:
+                self.queue.release_worker(worker_id)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_extra(self, conn, kind: str, message: Dict[str, object]) -> bool:
+        """Hook for subclasses (the service) to add message types."""
+        return False
+
+    def _handle_submit(self, conn, message: Dict[str, object]) -> None:
+        run_id = str(message.get("run", ""))
+        if not run_id:
+            send_frame(conn, {"type": "error", "error": "submit needs a run id"})
+            return
+        try:
+            policy = policy_from_dict(message.get("policy"))  # type: ignore[arg-type]
+            events = self.queue.submit(
+                run_id, list(message.get("jobs") or []),  # type: ignore[arg-type]
+                policy=policy)
+        except (ValueError, KeyError, TypeError) as error:
+            send_frame(conn, {"type": "error", "error": str(error)})
+            return
+        send_frame(conn, {"type": "submitted", "run": run_id,
+                          "jobs": len(list(message.get("jobs") or []))})  # type: ignore[arg-type]
+        self._stream_events(conn, run_id, events)
+
+    def _stream_events(self, conn, run_id: str,
+                       events: "Queue[Dict[str, object]]") -> None:
+        """Forward run events until ``run-done``; cancel on a dead client."""
+        try:
+            while True:
+                try:
+                    event = events.get(timeout=self.TICK_S)
+                except Exception:  # queue.Empty — prove the client is alive
+                    send_frame(conn, {"type": "tick", "run": run_id})
+                    continue
+                send_frame(conn, event)
+                if event.get("type") == "run-done":
+                    return
+        except (FrameError, OSError):
+            self.queue.cancel(run_id)
+            raise
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-broker",
+        description="Job broker for distributed scenario execution "
+                    "(see repro.distributed).")
+    parser.add_argument("--listen", default="127.0.0.1:0", metavar="ADDR",
+                        help="HOST:PORT or unix:/path (default: "
+                             "127.0.0.1 on an ephemeral port)")
+    parser.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_LEASE_TTL_S, metavar="S",
+                        help="seconds a lease survives without a heartbeat "
+                             f"(default: {DEFAULT_LEASE_TTL_S:g})")
+    args = parser.parse_args(argv)
+    server = BrokerServer(listen=args.listen, lease_ttl=args.lease_ttl)
+    print(f"repro-broker listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

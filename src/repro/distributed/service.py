@@ -1,0 +1,183 @@
+"""``repro-serve``: an always-on simulation service over the broker protocol.
+
+The service is a :class:`~repro.distributed.broker.BrokerServer` (workers
+attach to it exactly as to a plain broker) that additionally accepts
+*study submissions* and owns a :class:`~repro.analysis.runstore.RunStore`:
+
+- ``submit-study`` — compile a registered study server-side (with the
+  same seed/replicates/member/override knobs as the CLI), resume
+  already-cached unit jobs from the store, enqueue the rest, stream
+  ``progress``/``job-failed`` events to the submitting client, and on
+  completion assemble the ResultSet, persist it under a name, and reply
+  ``study-done`` with the full result document.
+- ``fetch-run`` — serve a finished ResultSet (and its RunRecord) by name.
+- ``list-runs`` — enumerate saved runs.
+
+Unit metrics are written into the service's store *as workers report
+them*, so an interrupted study resumes from the last completed job and
+concurrent studies share work through the content-addressed unit cache.
+Studies always run in ``keep_going`` mode: a job that exhausts its
+retries lands in the saved ResultSet's failure manifest (graceful
+degradation) instead of aborting the service's run.
+
+Run as a process::
+
+    repro-serve --listen 127.0.0.1:7480 --runs-dir runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.runstore import RunStore
+from repro.distributed.broker import DEFAULT_LEASE_TTL_S, BrokerServer
+from repro.distributed.protocol import FrameError, send_frame
+from repro.scenarios.execution import JobFailure, JobPolicy
+
+_STUDY_SEQ = itertools.count(1)
+
+
+class ServiceServer(BrokerServer):
+    """Broker plus study compilation, result persistence and retrieval."""
+
+    def __init__(self, listen: str = "127.0.0.1:0",
+                 runs_dir: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
+        super().__init__(listen=listen, lease_ttl=lease_ttl)
+        self.store = RunStore(runs_dir)
+
+    # -- extra message types -------------------------------------------
+    def _handle_extra(self, conn, kind: str, message: Dict[str, object]) -> bool:
+        if kind == "submit-study":
+            self._handle_submit_study(conn, message)
+            return True
+        if kind == "fetch-run":
+            self._handle_fetch_run(conn, message)
+            return True
+        if kind == "list-runs":
+            send_frame(conn, {"type": "runs",
+                              "runs": [record.to_dict()
+                                       for record in self.store.list()]})
+            return True
+        return False
+
+    def _handle_fetch_run(self, conn, message: Dict[str, object]) -> None:
+        name = str(message.get("name", ""))
+        try:
+            results = self.store.load(name)
+            record = self.store.record(name)
+        except (KeyError, ValueError) as error:
+            send_frame(conn, {"type": "error",
+                              "error": error.args[0] if error.args
+                              else str(error)})
+            return
+        send_frame(conn, {"type": "run", "name": name,
+                          "record": record.to_dict(),
+                          "results": results.to_dict()})
+
+    def _handle_submit_study(self, conn, message: Dict[str, object]) -> None:
+        from repro.scenarios import compile_study, get_study
+
+        study_name = str(message.get("study", ""))
+        try:
+            study = get_study(study_name)
+            members = message.get("members")
+            plan = compile_study(
+                study,
+                seed=message.get("seed"),  # type: ignore[arg-type]
+                replicates=message.get("replicates"),  # type: ignore[arg-type]
+                members=[str(m) for m in members] if members else None,  # type: ignore[union-attr]
+                member_overrides=dict(message.get("member_overrides") or {}),  # type: ignore[arg-type]
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            send_frame(conn, {"type": "error",
+                              "error": error.args[0] if error.args
+                              else str(error)})
+            return
+
+        policy = JobPolicy(
+            max_retries=int(message.get("retries", 0)),  # type: ignore[arg-type]
+            timeout_s=message.get("job_timeout"),  # type: ignore[arg-type]
+            keep_going=True,
+        )
+        completed: Dict[str, Dict[str, float]] = {}
+        if message.get("resume", True):
+            completed = self.store.completed_units(plan.job_keys())
+        pending = [job for job in plan.jobs if job.key not in completed]
+        run_id = f"study-{study_name}-{os.getpid()}-{next(_STUDY_SEQ)}"
+        events = self.queue.submit(
+            run_id,
+            [{"key": job.key, "spec": job.spec.to_dict(), "seed": job.seed,
+              "scenario": job.spec.name} for job in pending],
+            policy=policy)
+        send_frame(conn, {"type": "accepted", "run": run_id,
+                          "jobs": len(plan.jobs), "cached": len(completed)})
+
+        total = len(plan.jobs)
+        done = total - len(pending)
+        failures: Dict[str, JobFailure] = {}
+        try:
+            while True:
+                event = events.get()
+                kind = str(event.get("type", ""))
+                if kind == "job-done":
+                    key = str(event["key"])
+                    metrics = dict(event.get("metrics") or {})  # type: ignore[arg-type]
+                    completed[key] = metrics
+                    self.store.put_unit(key, metrics)
+                    done += 1
+                    send_frame(conn, {"type": "progress", "done": done,
+                                      "total": total, "key": key,
+                                      "cached": bool(event.get("cached"))})
+                elif kind == "job-failed":
+                    failure = JobFailure.from_dict(
+                        event.get("failure") or {})  # type: ignore[arg-type]
+                    failures[failure.key] = failure
+                    done += 1
+                    send_frame(conn, event)
+                elif kind == "run-done":
+                    break
+        except (FrameError, OSError):
+            self.queue.cancel(run_id)
+            raise
+
+        results = plan.assemble(completed, failures=failures)
+        save_name = str(message.get("save") or run_id)
+        record = self.store.save(results, save_name)
+        send_frame(conn, {"type": "study-done", "name": save_name,
+                          "run": run_id, "failures": len(failures),
+                          "record": record.to_dict(),
+                          "results": results.to_dict()})
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Always-on simulation service: broker + study "
+                    "submission + result store (see repro.distributed).")
+    parser.add_argument("--listen", default="127.0.0.1:0", metavar="ADDR",
+                        help="HOST:PORT or unix:/path (default: 127.0.0.1 "
+                             "on an ephemeral port)")
+    parser.add_argument("--runs-dir", default=None, metavar="PATH",
+                        help="run-store directory (default: ./runs or "
+                             "$REPRO_RUNS_DIR)")
+    parser.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_LEASE_TTL_S, metavar="S",
+                        help="seconds a lease survives without a heartbeat")
+    args = parser.parse_args(argv)
+    server = ServiceServer(listen=args.listen, runs_dir=args.runs_dir,
+                           lease_ttl=args.lease_ttl)
+    print(f"repro-serve listening on {server.address} "
+          f"(store: {server.store.root})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

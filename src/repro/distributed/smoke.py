@@ -1,0 +1,151 @@
+"""End-to-end distributed chaos smoke: broker + 2 workers + a mid-run kill.
+
+This is the executable proof behind the distributed backend's contract,
+run by ``make distributed`` and the CI ``distributed`` job:
+
+1. start a ``repro-broker`` subprocess on an ephemeral localhost port;
+2. start two ``repro-worker`` subprocesses sharing one RunStore — the
+   first with a scripted ``REPRO_FAULT_PLAN`` that hard-kills it on its
+   first leased job (the OOM-killer stand-in), the second clean;
+3. run the trimmed fixed-seed ``figure1`` study through
+   :class:`~repro.distributed.backend.DistributedBackend` and save it;
+4. assert the killed worker actually died (exit 17), the saved run's
+   failure manifest is empty (the lost lease was requeued *uncharged*
+   and re-run by the surviving worker), and the ResultSet is
+   byte-identical to the committed serial golden
+   (``tests/goldens/study-figure1.json``).
+
+Because unit jobs are pure functions of ``(spec, seed)``, the worker
+kill is invisible in the output — that is the property this script
+exists to keep true.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.analysis.runstore import RunStore
+from repro.distributed.backend import DistributedBackend
+from repro.scenarios import compile_study, get_study
+from repro.scenarios.execution import JobPolicy, execute_plan
+from repro.scenarios.goldens import STUDY_TRIMS, golden_path
+
+#: The whole smoke must finish well inside this budget or something hangs.
+WATCHDOG_S = 900
+
+
+def _spawn(args: List[str], env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m"] + args,
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def _terminate(processes: List[subprocess.Popen]) -> None:
+    for process in processes:
+        if process.poll() is None:
+            process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Distributed-execution chaos smoke "
+                    "(broker + 2 workers, one killed mid-run).")
+    parser.add_argument("--runs-dir", default=None, metavar="PATH",
+                        help="shared run store (default: a fresh temp dir)")
+    parser.add_argument("--save", default="distributed-fig1", metavar="NAME",
+                        help="run name to save the study under")
+    args = parser.parse_args(argv)
+
+    if hasattr(signal, "alarm"):
+        signal.alarm(WATCHDOG_S)
+
+    runs_dir = args.runs_dir or tempfile.mkdtemp(prefix="repro-distributed-")
+    base_env = dict(os.environ)
+    base_env.pop("REPRO_FAULT_PLAN", None)
+
+    processes: List[subprocess.Popen] = []
+    try:
+        broker = _spawn(["repro.distributed.broker",
+                         "--listen", "127.0.0.1:0"], base_env)
+        processes.append(broker)
+        # runpy may emit a RuntimeWarning line before the banner; scan.
+        address = None
+        for _ in range(20):
+            line = broker.stdout.readline()
+            if not line:
+                break
+            if line.startswith("repro-broker listening on "):
+                address = line.strip().rsplit(" ", 1)[-1]
+                break
+        if address is None:
+            print("smoke: FAIL - broker never printed its address",
+                  file=sys.stderr)
+            return 1
+        print(f"smoke: broker on {address}", flush=True)
+
+        # Worker A inherits a fault plan killing it on its first leased
+        # job; worker B is clean.  A starts first so it owns the first
+        # lease when the study is submitted.
+        kill_env = dict(base_env)
+        kill_env["REPRO_FAULT_PLAN"] = json.dumps(
+            {"faults": [{"match": "", "attempts": [1], "action": "kill"}]})
+        doomed = _spawn(["repro.distributed.worker", "--broker", address,
+                         "--name", "doomed", "--runs-dir", runs_dir],
+                        kill_env)
+        processes.append(doomed)
+        time.sleep(1.0)
+        survivor = _spawn(["repro.distributed.worker", "--broker", address,
+                           "--name", "survivor", "--runs-dir", runs_dir],
+                          base_env)
+        processes.append(survivor)
+
+        plan = compile_study(get_study("figure1"),
+                             member_overrides=STUDY_TRIMS["figure1"])
+        store = RunStore(runs_dir)
+        results = execute_plan(
+            plan,
+            backend=DistributedBackend(address, run_id="smoke-fig1"),
+            store=store, progress=True,
+            policy=JobPolicy(max_retries=1, keep_going=True))
+        record = store.save(results, args.save)
+
+        doomed_rc = doomed.wait(timeout=30)
+        if doomed_rc != 17:
+            print(f"smoke: FAIL - the doomed worker exited {doomed_rc}, "
+                  f"expected the injected kill (17)", file=sys.stderr)
+            return 1
+        if record.failures != 0 or results.failures:
+            print(f"smoke: FAIL - failure manifest not empty: "
+                  f"{results.failures}", file=sys.stderr)
+            return 1
+        golden = golden_path("study", "figure1").read_text(encoding="utf-8")
+        if results.to_json() + "\n" != golden:
+            print("smoke: FAIL - distributed figure1 is not byte-identical "
+                  "to the serial golden", file=sys.stderr)
+            return 1
+        print(f"smoke: OK - {len(results)} results, empty manifest, "
+              f"byte-identical to the golden after a mid-run worker kill "
+              f"(saved as {record.name!r} under {store.root})", flush=True)
+        return 0
+    finally:
+        _terminate(processes)
+        if hasattr(signal, "alarm"):
+            signal.alarm(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

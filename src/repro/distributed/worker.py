@@ -1,0 +1,223 @@
+"""``repro-worker``: executes leased unit jobs from a broker.
+
+A worker is a thin shell around the existing in-process execution path:
+it leases a seed-pinned unit job, rebuilds the
+:class:`~repro.scenarios.spec.ScenarioSpec` from the wire, and runs it
+through :func:`~repro.scenarios.execution._run_unit_attempt` — the same
+code the serial and pool backends use, fault-injection hooks and
+wall-clock budget included.  Metrics go back keyed by the job's
+content-addressed key, which is all the submitting client needs to merge
+byte-identically with a serial run.
+
+Before executing, the worker consults a shared
+:class:`~repro.analysis.runstore.RunStore` unit cache when one is
+configured (``--runs-dir``): a hit is reported as a (cached) completion
+without recomputation, giving cross-worker dedupe and resume for free —
+two workers pointed at the same store never run the same ``(spec, seed)``
+twice across runs.  Fresh metrics are written back to the cache before
+they are reported, so the store is never behind the broker.
+
+While a job runs, a daemon thread heartbeats the lease every
+``lease_ttl / 3`` seconds; a worker that dies (or loses its network)
+simply stops heartbeating and the broker requeues the job uncharged.
+
+Run as a process::
+
+    repro-worker --broker 127.0.0.1:7480 --runs-dir runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.distributed.protocol import FrameError, connect, recv_frame, send_frame
+from repro.scenarios.execution import (
+    JobTimeoutError,
+    UnitJob,
+    _describe_error,
+    _run_unit_attempt,
+)
+from repro.scenarios.faults import WORKER_PROCESS_ENV
+from repro.scenarios.spec import ScenarioSpec
+
+#: Default seconds one lease request waits for a job before re-polling.
+DEFAULT_POLL_S = 5.0
+
+#: Default seconds to keep retrying the initial broker connection.
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+
+class Worker:
+    """One worker loop bound to a broker address.
+
+    ``store`` (a :class:`~repro.analysis.runstore.RunStore` or ``None``)
+    enables the shared unit-cache check.  ``run()`` leases until the
+    broker says ``stop``, the connection drops, ``max_jobs`` is reached,
+    or ``stop_event`` is set; it returns the number of jobs executed
+    (cache hits included).
+    """
+
+    def __init__(self, broker: str, name: Optional[str] = None,
+                 store=None, poll_s: float = DEFAULT_POLL_S) -> None:
+        self.broker = broker
+        self.name = name or f"worker-{os.getpid()}"
+        self.store = store
+        self.poll_s = poll_s
+        self._send_lock = threading.Lock()
+
+    def run(self, stop_event: Optional[threading.Event] = None,
+            max_jobs: Optional[int] = None,
+            connect_timeout: float = DEFAULT_CONNECT_TIMEOUT_S) -> int:
+        conn = self._connect(connect_timeout)
+        executed = 0
+        try:
+            self._send(conn, {"type": "hello", "role": "worker",
+                              "worker": self.name})
+            while max_jobs is None or executed < max_jobs:
+                if stop_event is not None and stop_event.is_set():
+                    return executed
+                self._send(conn, {"type": "lease", "wait_s": self.poll_s})
+                reply = recv_frame(conn)
+                if reply is None or reply.get("type") == "stop":
+                    return executed
+                if reply.get("type") != "job":
+                    continue  # idle poll; lease again
+                self._execute(conn, reply)
+                executed += 1
+            return executed
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- internals -----------------------------------------------------
+    def _connect(self, timeout: float) -> socket.socket:
+        """Connect with retries: the broker may still be binding its port."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return connect(self.broker, timeout=5.0)
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise ConnectionError(
+                        f"could not reach broker {self.broker}: {error}"
+                    ) from error
+                time.sleep(0.2)
+
+    def _send(self, conn: socket.socket, message: Dict[str, object]) -> None:
+        with self._send_lock:
+            send_frame(conn, message)
+
+    def _execute(self, conn: socket.socket, message: Dict[str, object]) -> None:
+        lease = str(message["lease"])
+        key = str(message["key"])
+        attempt = int(message.get("attempt", 1))  # type: ignore[arg-type]
+        timeout_s = message.get("timeout_s")
+        lease_ttl = float(message.get("lease_ttl", 15.0))  # type: ignore[arg-type]
+
+        if self.store is not None:
+            cached = self.store.get_unit(key)
+            if cached is not None:
+                self._send(conn, {"type": "complete", "lease": lease,
+                                  "metrics": cached, "cached": True})
+                return
+
+        job = UnitJob(key=key,
+                      spec=ScenarioSpec.from_dict(message["spec"]),  # type: ignore[arg-type]
+                      seed=int(message["seed"]))  # type: ignore[arg-type]
+        done = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(conn, lease, lease_ttl, done),
+            name=f"heartbeat-{lease}", daemon=True)
+        beat.start()
+        try:
+            metrics = _run_unit_attempt(
+                job, attempt,
+                float(timeout_s) if timeout_s else None)  # type: ignore[arg-type]
+        except JobTimeoutError as error:
+            done.set()
+            self._send(conn, {"type": "fail", "lease": lease,
+                              "kind": "timeout",
+                              "error": _describe_error(error)})
+            return
+        except Exception as error:  # noqa: BLE001 - reported, not fatal
+            done.set()
+            self._send(conn, {"type": "fail", "lease": lease,
+                              "kind": "exception",
+                              "error": _describe_error(error)})
+            return
+        finally:
+            done.set()
+        if self.store is not None:
+            self.store.put_unit(key, metrics)
+        self._send(conn, {"type": "complete", "lease": lease,
+                          "metrics": metrics})
+
+    def _heartbeat_loop(self, conn: socket.socket, lease: str,
+                        lease_ttl: float, done: threading.Event) -> None:
+        interval = max(0.5, lease_ttl / 3.0)
+        while not done.wait(interval):
+            try:
+                self._send(conn, {"type": "heartbeat", "lease": lease})
+            except (FrameError, OSError):
+                return  # connection gone; the job's report will fail too
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Pull and execute unit jobs from a repro-broker.")
+    parser.add_argument("--broker", required=True, metavar="ADDR",
+                        help="broker address (HOST:PORT or unix:/path)")
+    parser.add_argument("--name", default=None,
+                        help="worker name for broker-side accounting "
+                             "(default: worker-<pid>)")
+    parser.add_argument("--runs-dir", default=None, metavar="PATH",
+                        help="shared run store for the unit-cache check "
+                             "(cross-worker dedupe/resume); default: none")
+    parser.add_argument("--poll", type=float, default=DEFAULT_POLL_S,
+                        metavar="S", help="lease poll interval in seconds")
+    parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after executing N jobs (default: serve "
+                             "until the broker stops)")
+    parser.add_argument("--connect-timeout", type=float,
+                        default=DEFAULT_CONNECT_TIMEOUT_S, metavar="S",
+                        help="seconds to keep retrying the first connection")
+    args = parser.parse_args(argv)
+
+    # Mark this process as a worker so a scripted ``kill`` fault
+    # (REPRO_FAULT_PLAN) hard-exits it the way it does pool workers.
+    os.environ[WORKER_PROCESS_ENV] = "1"
+
+    store = None
+    if args.runs_dir:
+        from repro.analysis.runstore import RunStore
+
+        store = RunStore(args.runs_dir)
+    worker = Worker(args.broker, name=args.name, store=store,
+                    poll_s=args.poll)
+    try:
+        executed = worker.run(max_jobs=args.max_jobs,
+                              connect_timeout=args.connect_timeout)
+    except ConnectionError as error:
+        print(f"repro-worker: {error}", file=sys.stderr)
+        return 1
+    except (FrameError, OSError) as error:
+        print(f"repro-worker: connection lost: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    print(f"repro-worker {worker.name}: {executed} job(s) executed",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

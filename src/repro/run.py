@@ -44,7 +44,9 @@ patterns like ``*_latency_s`` and the ``*`` catch-all supported,
 ``--profile NAME`` starts from a curated tolerance map
 (:data:`repro.analysis.diff.TOLERANCE_PROFILES` — ``sketch`` validates
 streaming-sketch vs exact metrics collection, ``latency`` absorbs noisy
-cross-seed latency percentiles) with ``--tol`` entries layered on top.
+cross-seed latency percentiles, ``cross-substrate`` compares scalar vs
+``kad-fast`` Kademlia runs at overlapping N across their deliberate
+spec difference) with ``--tol`` entries layered on top.
 CI-overlap failures of replicated runs warn by default and fail only
 under ``--strict-ci``.  ``gc`` drops store objects and cached
 units unreachable from any saved name (``--dry-run`` lists them without
@@ -54,7 +56,13 @@ cache, instead of resuming from it.
 
 ``--jobs N`` fans the plan's unit jobs out over N worker processes; the
 output is byte-identical to the serial run at the same seed (results merge
-by content-addressed job key, not completion order).  ``--save NAME``
+by content-addressed job key, not completion order).  ``--backend
+distributed --broker ADDR`` ships the same unit jobs to ``repro-worker``
+processes attached to a ``repro-broker`` (see :mod:`repro.distributed`)
+with the same byte-identity guarantee; retries, backoff and timeouts
+(``--retries``/``--job-timeout``/``--keep-going``) apply broker-side with
+the same deterministic schedule, and a worker that dies mid-job only
+costs time, never an attempt.  ``--save NAME``
 persists the ResultSet into the run store (``runs/`` by default;
 ``--runs-dir``/``$REPRO_RUNS_DIR`` override) and enables spec-hash-based
 resume: unit jobs already recorded in the store are skipped on re-run.
@@ -87,6 +95,7 @@ import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.diff import (
+    SPEC_DRIFT_PROFILES,
     Tolerance,
     diff_resultsets,
     parse_tolerance,
@@ -140,6 +149,17 @@ examples:
                                                  collect failures, exit 3, save
                                                  the rest; rerun retries only
                                                  the failed units
+
+distributed execution (see repro.distributed):
+  repro-broker --listen 127.0.0.1:7480           start the job broker
+  repro-worker --broker 127.0.0.1:7480 --runs-dir runs   (repeat per host/core)
+  repro-run study figure1 --backend distributed --broker 127.0.0.1:7480
+                                                 same bytes as the serial run,
+                                                 at any worker count, even if
+                                                 workers die mid-run
+  repro-serve --listen 127.0.0.1:7480 --runs-dir runs    always-on service:
+                                                 accepts study submissions and
+                                                 serves finished runs by name
 """
 
 
@@ -215,6 +235,40 @@ def _save_results(store: Optional[RunStore], results, args) -> None:
         print(f"\nsaved run {record.name!r} "
               f"({record.results} results, object {record.object_hash[:12]}) "
               f"under {store.root}")
+
+
+def _backend_from_args(args):
+    """The execution backend from ``--backend``/``--broker``/``--jobs``.
+
+    Returns whatever :func:`execute_plan` accepts: ``None``/int for the
+    serial and process-pool paths, or a
+    :class:`~repro.distributed.DistributedBackend` when ``--backend
+    distributed`` (or a bare ``--broker ADDR``) selects the queue-backed
+    path.  All three produce byte-identical output for the same plan.
+    """
+    choice = args.backend
+    if choice is None and args.broker:
+        choice = "distributed"
+    if choice == "distributed":
+        if not args.broker:
+            raise SystemExit(
+                "--backend distributed needs --broker ADDR (HOST:PORT or "
+                "unix:/path) pointing at a running repro-broker with "
+                "workers attached")
+        from repro.distributed import DistributedBackend
+
+        return DistributedBackend(args.broker)
+    if args.broker:
+        raise SystemExit(f"--broker only applies to --backend distributed, "
+                         f"not --backend {choice}")
+    if choice == "serial":
+        if args.jobs and args.jobs > 1:
+            raise SystemExit("--backend serial contradicts --jobs N; drop one")
+        return None
+    if choice == "pool":
+        return args.jobs if args.jobs and args.jobs > 1 \
+            else (os.cpu_count() or 2)
+    return args.jobs
 
 
 def _policy_from_args(args) -> Optional[JobPolicy]:
@@ -320,8 +374,14 @@ def _load_diff_operand(operand: str, args) -> Tuple[ResultSet, str]:
     try:
         if isinstance(data, list):  # results_to_json sweep output
             return ResultSet.from_dict({"results": data}), label
-        return ResultSet.from_dict(data), label
-    except (KeyError, ValueError, TypeError):
+        if isinstance(data, dict) and "results" not in data \
+                and "metrics" in data:  # single-result scenario output
+            return ResultSet.from_dict({"results": [data]}), label
+        results = ResultSet.from_dict(data)
+        if not len(results) and not isinstance(data.get("results"), list):
+            raise ValueError("no results")
+        return results, label
+    except (KeyError, ValueError, TypeError, AttributeError):
         raise SystemExit(f"{label}: not a ResultSet JSON document")
 
 
@@ -335,7 +395,8 @@ def _run_diff_command(args) -> int:
     results_a, label_a = _load_diff_operand(args.name, args)
     results_b, label_b = _load_diff_operand(args.name2, args)
     report = diff_resultsets(results_a, results_b, tolerances=tolerances,
-                             a_label=label_a, b_label=label_b)
+                             a_label=label_a, b_label=label_b,
+                             spec_changed_ok=args.profile in SPEC_DRIFT_PROFILES)
     if not args.quiet:
         table = report.table()
         print(table.render() if len(table) else report.summary())
@@ -392,13 +453,15 @@ def _run_ls_command(args) -> int:
         print(f"no saved runs under {store.root} "
               f"(save one with: repro-run study figure1 --save NAME)")
         return 0
-    table = ResultTable(["name", "results", "labels", "saved at", "object"],
+    table = ResultTable(["name", "results", "failures", "labels", "saved at",
+                         "object"],
                         title=f"Saved runs in {store.root} (repro-run show <name>)")
     for record in records:
         labels = ", ".join(record.labels[:4])
         if len(record.labels) > 4:
             labels += f", ... ({len(record.labels)})"
-        table.add_row(record.name, record.results, labels,
+        table.add_row(record.name, record.results,
+                      record.failures or "-", labels,
                       record.saved_at, record.object_hash[:12])
     print(table.render())
     return 0
@@ -463,8 +526,8 @@ def _run_study_command(args) -> int:
         print(error.args[0] if error.args else error, file=sys.stderr)
         return 2
     try:
-        results = execute_plan(plan, backend=args.jobs, store=store,
-                               progress=args.progress,
+        results = execute_plan(plan, backend=_backend_from_args(args),
+                               store=store, progress=args.progress,
                                resume=not args.no_resume,
                                policy=_policy_from_args(args))
     except JobExecutionError as error:
@@ -516,8 +579,8 @@ def _run_scenario_command(args, name: str, base_only: bool = False) -> int:
         print(error.args[0] if error.args else error, file=sys.stderr)
         return 2
     try:
-        results = execute_plan(plan, backend=args.jobs, store=store,
-                               progress=args.progress,
+        results = execute_plan(plan, backend=_backend_from_args(args),
+                               store=store, progress=args.progress,
                                resume=not args.no_resume,
                                policy=_policy_from_args(args))
     except JobExecutionError as error:
@@ -576,6 +639,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="execute unit jobs on a process pool of N workers "
                              "(default: serial; output is byte-identical)")
+    parser.add_argument("--backend", choices=("serial", "pool", "distributed"),
+                        default=None,
+                        help="execution backend (default: serial, or pool "
+                             "when --jobs N is given); 'distributed' ships "
+                             "unit jobs to repro-worker processes via a "
+                             "repro-broker (needs --broker)")
+    parser.add_argument("--broker", metavar="ADDR", default=None,
+                        help="broker address for --backend distributed "
+                             "(HOST:PORT or unix:/path); implies the "
+                             "distributed backend when given alone")
     parser.add_argument("--save", metavar="NAME",
                         help="persist the ResultSet under NAME in the run "
                              "store and resume finished unit jobs from it")
@@ -602,8 +675,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", metavar="NAME", default=None,
                         help="named diff tolerance profile ('sketch' for "
                              "streaming-vs-exact metrics, 'latency' for "
-                             "noisy cross-seed percentiles); --tol entries "
-                             "override the profile's")
+                             "noisy cross-seed percentiles, "
+                             "'cross-substrate' for scalar-vs-kad-fast "
+                             "Kademlia runs at overlapping N); --tol "
+                             "entries override the profile's")
     parser.add_argument("--strict-ci", action="store_true",
                         help="make diff fail (exit 1) on CI-overlap failures "
                              "instead of warning")

@@ -466,6 +466,11 @@ class OverlayAdapter(ArchitectureAdapter):
       (``client_overrides`` applies on top), ``workload["wave_size"]``
       the lookup batch width; the spec's ``metrics`` mode selects
       exact or streaming latency samples;
+    * ``"chord"`` — greedy finger-table routing on a converged
+      :class:`~repro.p2p.chord.ChordNetwork` ring
+      (``successor_list_size``, ``hop_latency_mean``); the churn model's
+      implied availability fails ``1 - availability`` of the ring before
+      the lookups run, exercising successor-list repair;
     * ``"onehop"`` — the full-membership
       :class:`~repro.p2p.onehop.OneHopOverlay` (E6), with
       ``dissemination_delay``, ``lookup_timeout`` and ``hop_latency`` knobs;
@@ -505,6 +510,8 @@ class OverlayAdapter(ArchitectureAdapter):
             return self._setup_onehop(spec, seed)
         if isinstance(overlay, str) and overlay in ("gnutella", "unstructured"):
             return self._setup_gnutella(spec, seed)
+        if isinstance(overlay, str) and overlay == "chord":
+            return self._setup_chord(spec, seed)
         if isinstance(overlay, str) and overlay in ("kad-fast", "fastkad"):
             return self._setup_fastkad(spec, seed)
         return self._setup_kademlia(spec, seed)
@@ -584,6 +591,26 @@ class OverlayAdapter(ArchitectureAdapter):
         )
         return {"mode": "attack", "config": config}
 
+    def _setup_chord(self, spec: ScenarioSpec, seed: int):
+        from repro.p2p.chord import ChordNetwork
+        from repro.sim.churn import ChurnModel
+
+        arch = spec.architecture
+        network = ChordNetwork(
+            size=int(spec.topology.get("size", 500)),
+            successor_list_size=int(arch.get("successor_list_size", 8)),
+            hop_latency_mean=float(arch.get("hop_latency_mean", 0.08)),
+            seed=seed,
+        )
+        churn = ChurnModel.from_spec(spec.churn)
+        if churn is not None:
+            network.fail_nodes(1.0 - churn.availability)
+        return {
+            "mode": "chord",
+            "network": network,
+            "lookups": int(spec.workload.get("lookups", 300)),
+        }
+
     def _setup_onehop(self, spec: ScenarioSpec, seed: int):
         from repro.p2p.onehop import OneHopConfig, OneHopOverlay
         from repro.sim.churn import ChurnModel
@@ -635,6 +662,19 @@ class OverlayAdapter(ArchitectureAdapter):
             )
         if context["mode"] == "gnutella":
             return context["network"].run_queries(context["queries"])
+        if context["mode"] == "chord":
+            from repro.p2p.identifiers import random_id
+
+            network = context["network"]
+            # Ring order keeps the origin draw deterministic (the alive
+            # set must never be iterated directly).
+            alive = [node_id for node_id in network.ring
+                     if network.nodes[node_id].online]
+            return [
+                network.lookup(network.rng.choice(alive),
+                               random_id(network.rng))
+                for _ in range(context["lookups"])
+            ]
         if context["mode"] == "attack":
             from repro.p2p.sybil import run_sybil_attack
 
@@ -678,6 +718,27 @@ class OverlayAdapter(ArchitectureAdapter):
                     config.size * config.membership_entry_bytes / 1e6
                 ),
             }
+        if context["mode"] == "chord":
+            successes = [result for result in outcome if result.success]
+            recall = len(successes) / len(outcome) if outcome else 0.0
+            metrics = {
+                "lookups": float(len(outcome)),
+                "failure_rate": 1.0 - recall,
+                "routing_state_per_node":
+                    context["network"].routing_state_per_node(),
+            }
+            # Hops/latency are only defined over successful lookups (the
+            # same omission rule as the gnutella path below).
+            if successes:
+                latencies = [result.latency for result in successes]
+                metrics.update({
+                    "hops_per_lookup": mean(
+                        [float(result.hops) for result in successes]),
+                    "median_latency_s": percentile(latencies, 50),
+                    "p90_latency_s": percentile(latencies, 90),
+                    "mean_latency_s": mean(latencies),
+                })
+            return metrics
         if context["mode"] == "gnutella":
             found = [query for query in outcome if query.found]
             hit_latencies = [query.latency for query in found]

@@ -37,6 +37,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.analysis.runstore import RunStore
 from repro.scenarios.execution import FAULT_PLAN_ENV, ExecutionBackend
 
+#: Set (to any non-empty value) by processes that serve leased unit jobs
+#: (``repro-worker``), so a scripted ``kill`` fault hard-exits them the
+#: same way it does pool workers.  Pool workers do not need it — they are
+#: recognised by having a multiprocessing parent.
+WORKER_PROCESS_ENV = "REPRO_WORKER_PROCESS"
+
 
 class InjectedFault(RuntimeError):
     """The scripted failure raised (or left behind) by a fault plan."""
@@ -55,8 +61,11 @@ class FaultSpec:
     - ``"hang"`` — sleep ``seconds`` then return normally; under a
       ``timeout_s`` budget shorter than that, the job looks hung.
     - ``"kill"`` — hard-exit the worker process (``os._exit``), the moral
-      equivalent of the OOM killer.  Outside a worker process it degrades
-      to ``raise`` so serial runs stay debuggable.
+      equivalent of the OOM killer.  A *worker process* is either a pool
+      worker (it has a multiprocessing parent) or a distributed worker
+      (``REPRO_WORKER_PROCESS`` is set, see :data:`WORKER_PROCESS_ENV`);
+      anywhere else it degrades to ``raise`` so serial runs stay
+      debuggable.
     """
 
     match: str
@@ -84,7 +93,8 @@ class FaultSpec:
         if self.action == "kill":
             import multiprocessing
 
-            if multiprocessing.parent_process() is not None:
+            if (multiprocessing.parent_process() is not None
+                    or os.environ.get(WORKER_PROCESS_ENV)):
                 os._exit(17)
         raise InjectedFault(
             f"injected fault on unit job {key} (attempt {attempt})")

@@ -68,6 +68,7 @@ SCENARIO_TRIMS: Dict[str, Dict[str, object]] = {
     "churn-ladder": {"topology.size": 120, "workload.lookups": 20},
     "churn-model-ablation": {"topology.size": 120, "workload.lookups": 15,
                              "sweeps": {"architecture.overlay": ["kad"]}},
+    "chord-lookup": {"topology.size": 150, "workload.lookups": 25},
     "onehop-lookup": {"topology.size": 1500, "workload.lookups": 50},
     "overlay-scaling": {"workload.lookups": 20,
                         "sweeps": {"topology.size": [100, 200]}},

@@ -376,6 +376,18 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="chord-lookup",
+    family="overlay",
+    description="Chord finger-table routing under churn: O(log n) hops, successor-list repair",
+    claim="E2",
+    architecture={"overlay": "chord", "successor_list_size": 8},
+    topology={"size": 400},
+    churn="kad",
+    workload={"kind": "lookup", "lookups": 120},
+    seed=3,
+))
+
+register(ScenarioSpec(
     name="gnutella-search",
     family="overlay",
     description="Gnutella-style TTL-limited flooding: recall vs message cost",

@@ -1,0 +1,584 @@
+"""Distributed execution: wire protocol, broker accounting, byte-identity.
+
+The contract under test is the same one the in-process backends carry:
+unit jobs are pure functions of ``(spec, seed)``, results merge by
+content-addressed key, so the distributed path — broker, leases, worker
+deaths, retries, any completion order — must produce output
+byte-identical to :class:`SerialBackend`.  The broker's lease accounting
+is tested at the :class:`BrokerQueue` level (no sockets), the framing at
+the socket level, and the whole stack end-to-end with an in-process
+:class:`BrokerServer` plus worker threads against the committed
+``figure1`` golden.
+"""
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runstore import RunStore
+from repro.distributed import (
+    BrokerQueue,
+    BrokerServer,
+    DistributedBackend,
+    FrameError,
+    MAX_FRAME_BYTES,
+    Worker,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.distributed.broker import policy_from_dict, policy_to_dict
+from repro.distributed.protocol import connect, format_address
+from repro.distributed.service import ServiceServer
+from repro.scenarios import (
+    FaultPlan,
+    FaultSpec,
+    JobExecutionError,
+    JobPolicy,
+    SerialBackend,
+    compile_study,
+    execute_plan,
+)
+
+from test_execution import FIGURE1_TRIMS
+
+GOLDEN_FIGURE1 = Path(__file__).parent / "goldens" / "study-figure1.json"
+
+
+def _job(key, seed=1, scenario="s", spec=None):
+    return {"key": key, "spec": spec or {"name": scenario}, "seed": seed,
+            "scenario": scenario}
+
+
+def _drain_until(events, kind):
+    """Pop events until one of ``kind`` arrives (bounded, test-safe)."""
+    for _ in range(100):
+        event = events.get(timeout=5.0)
+        if event["type"] == kind:
+            return event
+    raise AssertionError(f"no {kind!r} event arrived")
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"type": "job", "key": "k-s1", "seed": 3,
+                       "metrics": {"x": 0.125, "n": 7},
+                       "nested": {"list": [1, 2.5, "three", None, True]}}
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_header_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00")  # half a length prefix
+            a.close()
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_truncated_body_raises(self):
+        a, b = socket.socketpair()
+        try:
+            payload = json.dumps({"type": "ping"}).encode()
+            a.sendall(len(payload).to_bytes(4, "big") + payload[:-3])
+            a.close()
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_both_sides(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(FrameError):
+                send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_dict_and_bad_json_raise(self):
+        for payload in (b"[1, 2, 3]", b"{not json"):
+            a, b = socket.socketpair()
+            try:
+                a.sendall(len(payload).to_bytes(4, "big") + payload)
+                with pytest.raises(FrameError):
+                    recv_frame(b)
+            finally:
+                a.close()
+                b.close()
+
+    def test_parse_address_forms(self):
+        assert parse_address("127.0.0.1:7480") == ("tcp", ("127.0.0.1", 7480))
+        assert parse_address(":7480") == ("tcp", ("127.0.0.1", 7480))
+        assert parse_address("unix:/tmp/b.sock") == ("unix", "/tmp/b.sock")
+        for bad in ("", "nonsense", "host:", "host:notaport"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+    def test_format_address_round_trips(self):
+        for text in ("127.0.0.1:7480", "unix:/tmp/b.sock"):
+            assert format_address(parse_address(text)) == text
+
+    def test_stale_unix_socket_is_reclaimed(self, tmp_path):
+        from repro.distributed.protocol import create_listener
+        address = f"unix:{tmp_path / 'b.sock'}"
+        dead = create_listener(address)
+        dead.close()  # killed broker: socket file stays on disk
+        reborn = create_listener(address)  # must not EADDRINUSE
+        reborn.close()
+
+    def test_live_unix_socket_is_not_stolen(self, tmp_path):
+        from repro.distributed.protocol import create_listener
+        address = f"unix:{tmp_path / 'b.sock'}"
+        alive = create_listener(address)
+        try:
+            with pytest.raises(OSError, match="live listener"):
+                create_listener(address)
+        finally:
+            alive.close()
+
+    def test_policy_wire_round_trip(self):
+        policy = JobPolicy(max_retries=3, timeout_s=12.5, keep_going=True,
+                           backoff_base_s=0.01)
+        rebuilt = policy_from_dict(policy_to_dict(policy))
+        assert rebuilt == policy
+        assert policy_from_dict(None) == JobPolicy()
+
+
+# ----------------------------------------------------------------------
+# BrokerQueue lease accounting (no sockets)
+# ----------------------------------------------------------------------
+class TestBrokerQueue:
+    def test_dispatch_in_plan_order_and_run_done(self):
+        queue = BrokerQueue()
+        events = queue.submit("r", [_job("a"), _job("b")], JobPolicy())
+        first = queue.lease("w1")
+        second = queue.lease("w2")
+        assert (first["key"], second["key"]) == ("a", "b")
+        assert first["attempt"] == 1
+        assert queue.complete(first["lease"], {"m": 1.0})
+        assert queue.complete(second["lease"], {"m": 2.0})
+        assert _drain_until(events, "job-done")["key"] == "a"
+        assert _drain_until(events, "run-done")["completed"] == 2
+
+    def test_empty_run_completes_immediately(self):
+        queue = BrokerQueue()
+        events = queue.submit("r", [], JobPolicy())
+        assert events.get(timeout=1.0)["type"] == "run-done"
+
+    def test_duplicate_run_id_rejected(self):
+        queue = BrokerQueue()
+        queue.submit("r", [_job("a")], JobPolicy())
+        with pytest.raises(ValueError):
+            queue.submit("r", [_job("b")], JobPolicy())
+
+    def test_reported_failure_charges_attempt_and_retries(self):
+        queue = BrokerQueue()
+        events = queue.submit(
+            "r", [_job("a")], JobPolicy(max_retries=1, backoff_base_s=0.0))
+        lease = queue.lease("w")
+        assert queue.fail(lease["lease"], "exception", "boom")
+        retry = queue.lease("w", wait_s=2.0)
+        assert retry["type"] == "job" and retry["attempt"] == 2
+        assert queue.complete(retry["lease"], {"m": 1.0})
+        assert _drain_until(events, "run-done")["failed"] == 0
+
+    def test_exhausted_budget_manifests_job_failure(self):
+        queue = BrokerQueue()
+        events = queue.submit(
+            "r", [_job("a", seed=4, scenario="sc")],
+            JobPolicy(max_retries=1, backoff_base_s=0.0))
+        for expected_attempt in (1, 2):
+            lease = queue.lease("w", wait_s=2.0)
+            assert lease["attempt"] == expected_attempt
+            assert queue.fail(lease["lease"], "exception", "boom")
+        failed = _drain_until(events, "job-failed")
+        assert failed["failure"]["key"] == "a"
+        assert failed["failure"]["attempts"] == 2
+        assert failed["failure"]["kind"] == "exception"
+        assert failed["failure"]["seed"] == 4
+        assert failed["failure"]["scenario"] == "sc"
+        assert _drain_until(events, "run-done")["failed"] == 1
+
+    def test_backoff_delays_requeue(self):
+        queue = BrokerQueue()
+        queue.submit("r", [_job("a")],
+                     JobPolicy(max_retries=1, backoff_base_s=30.0,
+                               backoff_jitter=0.0))
+        lease = queue.lease("w")
+        queue.fail(lease["lease"], "exception", "boom")
+        # The retry sits in backoff for ~30s; an immediate lease is idle.
+        assert queue.lease("w", wait_s=0.0)["type"] == "idle"
+
+    def test_duplicate_completion_first_wins(self):
+        queue = BrokerQueue()
+        events = queue.submit("r", [_job("a")], JobPolicy())
+        lease = queue.lease("w")
+        assert queue.complete(lease["lease"], {"m": 1.0}) is True
+        assert queue.complete(lease["lease"], {"m": 999.0}) is False
+        assert queue.fail(lease["lease"], "exception", "late") is False
+        done = _drain_until(events, "job-done")
+        assert done["metrics"] == {"m": 1.0}
+        _drain_until(events, "run-done")
+
+    def test_worker_disconnect_requeues_uncharged(self):
+        queue = BrokerQueue()
+        queue.submit("r", [_job("a")], JobPolicy(max_retries=0))
+        lease = queue.lease("w-dead")
+        assert lease["attempt"] == 1
+        assert queue.release_worker("w-dead") == 1
+        regrant = queue.lease("w-alive", wait_s=2.0)
+        # Same attempt number: a lost lease never charges the budget,
+        # even with a zero-retry policy.
+        assert regrant["type"] == "job" and regrant["attempt"] == 1
+        assert queue.complete(regrant["lease"], {"m": 1.0})
+
+    def test_lease_expiry_requeues_uncharged(self):
+        queue = BrokerQueue(lease_ttl=0.05)
+        queue.submit("r", [_job("a")], JobPolicy(max_retries=0))
+        lease = queue.lease("w")
+        assert queue.expire(now=time.monotonic() + 1.0) == 1
+        regrant = queue.lease("w2", wait_s=2.0)
+        assert regrant["attempt"] == 1
+        # The expired lease is settled; its late report is dropped.
+        assert queue.complete(lease["lease"], {"m": 0.0}) is False
+
+    def test_heartbeat_extends_and_detects_stale(self):
+        queue = BrokerQueue(lease_ttl=0.2)
+        queue.submit("r", [_job("a")], JobPolicy())
+        lease = queue.lease("w")
+        assert queue.heartbeat(lease["lease"]) is True
+        queue.complete(lease["lease"], {"m": 1.0})
+        assert queue.heartbeat(lease["lease"]) is False
+
+    def test_cancel_drains_pending_jobs(self):
+        queue = BrokerQueue()
+        queue.submit("r", [_job("a"), _job("b")], JobPolicy())
+        queue.cancel("r")
+        assert queue.lease("w", wait_s=0.0)["type"] == "idle"
+        assert queue.stats()["queued"] == 0
+
+    def test_stop_tells_workers_to_exit(self):
+        queue = BrokerQueue()
+        queue.stop()
+        assert queue.lease("w", wait_s=10.0) == {"type": "stop"}
+
+
+# ----------------------------------------------------------------------
+# End-to-end: in-process server + worker threads
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def broker():
+    server = BrokerServer(listen="127.0.0.1:0", lease_ttl=5.0)
+    server.start()
+    yield server
+    server.stop()
+
+
+def _start_workers(server, count, store=None, poll_s=0.2):
+    stop = threading.Event()
+    threads = []
+    for index in range(count):
+        worker = Worker(server.address, name=f"w{index}", store=store,
+                        poll_s=poll_s)
+        thread = threading.Thread(target=worker.run,
+                                  kwargs={"stop_event": stop}, daemon=True)
+        thread.start()
+        threads.append(thread)
+    return stop, threads
+
+
+class TestEndToEnd:
+    def test_distributed_matches_serial_and_golden(self, broker):
+        stop, threads = _start_workers(broker, 2)
+        plan = compile_study("figure1", member_overrides=FIGURE1_TRIMS)
+        distributed = execute_plan(
+            plan, backend=DistributedBackend(broker.address, run_id="e2e"))
+        serial = execute_plan(plan, backend=SerialBackend())
+        assert distributed.to_json() == serial.to_json()
+        stop.set()
+
+    def test_trimmed_golden_byte_identity(self, broker):
+        from repro.scenarios.goldens import STUDY_TRIMS
+
+        stop, threads = _start_workers(broker, 2)
+        plan = compile_study("figure1",
+                             member_overrides=STUDY_TRIMS["figure1"])
+        results = execute_plan(
+            plan, backend=DistributedBackend(broker.address, run_id="golden"))
+        golden = GOLDEN_FIGURE1.read_text(encoding="utf-8")
+        assert results.to_json() + "\n" == golden
+        stop.set()
+
+    def test_shared_store_cache_skips_execution(self, broker, tmp_path):
+        store = RunStore(tmp_path)
+        plan = compile_study("figure1", member_overrides=FIGURE1_TRIMS)
+        sentinel = {"sentinel": 42.0}
+        for key in plan.job_keys():
+            store.put_unit(key, dict(sentinel))
+        stop, threads = _start_workers(broker, 1, store=store)
+        results = execute_plan(
+            plan, backend=DistributedBackend(broker.address, run_id="cached"))
+        # Every metric came from the cache, none from execution.
+        for result in results:
+            assert result.metrics == sentinel
+        stop.set()
+
+    def test_injected_failure_keep_going_manifest(self, broker, tmp_path):
+        plan = compile_study("figure1", member_overrides=FIGURE1_TRIMS)
+        doomed_key = plan.jobs[0].key
+        fault_plan = FaultPlan([FaultSpec(match=doomed_key, action="raise")])
+        with fault_plan.installed():
+            stop, threads = _start_workers(broker, 2)
+            results = execute_plan(
+                plan,
+                backend=DistributedBackend(broker.address, run_id="degrade"),
+                policy=JobPolicy(max_retries=1, keep_going=True,
+                                 backoff_base_s=0.0))
+            stop.set()
+        assert len(results.failures) == 1
+        entry = results.failures[0]
+        assert entry["key"] == doomed_key
+        assert entry["attempts"] == 2
+        assert entry["kind"] == "exception"
+        # The other slots assembled; the failed one is absent.
+        assert len(results) == len(plan.slots) - 1
+
+    def test_injected_failure_fail_fast_aborts(self, broker):
+        plan = compile_study("figure1", member_overrides=FIGURE1_TRIMS)
+        fault_plan = FaultPlan(
+            [FaultSpec(match=plan.jobs[0].key, action="raise")])
+        with fault_plan.installed():
+            stop, threads = _start_workers(broker, 2)
+            with pytest.raises(JobExecutionError):
+                execute_plan(
+                    plan,
+                    backend=DistributedBackend(broker.address,
+                                               run_id="abort"),
+                    policy=JobPolicy(max_retries=0, keep_going=False))
+            stop.set()
+
+    def test_retried_fault_converges_to_golden(self, broker):
+        from repro.scenarios.goldens import STUDY_TRIMS
+
+        plan = compile_study("figure1",
+                             member_overrides=STUDY_TRIMS["figure1"])
+        # First attempt of the first job fails; the retry must heal the
+        # run back to byte-identity.
+        fault_plan = FaultPlan([FaultSpec(match=plan.jobs[0].key,
+                                          action="raise", attempts=(1,))])
+        with fault_plan.installed():
+            stop, threads = _start_workers(broker, 2)
+            results = execute_plan(
+                plan,
+                backend=DistributedBackend(broker.address, run_id="heal"),
+                policy=JobPolicy(max_retries=1, backoff_base_s=0.0))
+            stop.set()
+        assert not results.failures
+        golden = GOLDEN_FIGURE1.read_text(encoding="utf-8")
+        assert results.to_json() + "\n" == golden
+
+    def test_wire_worker_disconnect_mid_lease_requeues(self, broker):
+        plan = compile_study("figure1", member_overrides=FIGURE1_TRIMS)
+        # A raw "worker" takes the first lease and dies without a report.
+        conn = connect(broker.address, timeout=5.0)
+        send_frame(conn, {"type": "hello", "role": "worker",
+                          "worker": "vanishing"})
+        send_frame(conn, {"type": "lease", "wait_s": 0.0})
+
+        result = {}
+
+        def _submit():
+            result["results"] = execute_plan(
+                plan,
+                backend=DistributedBackend(broker.address, run_id="requeue"))
+
+        submitter = threading.Thread(target=_submit, daemon=True)
+        submitter.start()
+        granted = None
+        deadline = time.monotonic() + 10.0
+        while granted is None and time.monotonic() < deadline:
+            reply = recv_frame(conn)
+            assert reply is not None
+            if reply.get("type") == "job":
+                granted = reply
+            else:
+                send_frame(conn, {"type": "lease", "wait_s": 0.5})
+        assert granted is not None and granted["attempt"] == 1
+        conn.close()  # mid-lease disconnect: requeue, uncharged
+
+        stop, threads = _start_workers(broker, 2)
+        submitter.join(timeout=120.0)
+        assert not submitter.is_alive()
+        stop.set()
+        serial = execute_plan(plan, backend=SerialBackend())
+        assert result["results"].to_json() == serial.to_json()
+
+
+# ----------------------------------------------------------------------
+# The always-on service (repro-serve)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service(tmp_path):
+    server = ServiceServer(listen="127.0.0.1:0", runs_dir=tmp_path / "runs",
+                           lease_ttl=5.0)
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestService:
+    def test_submit_study_stream_and_fetch(self, service):
+        stop, threads = _start_workers(service, 2)
+        conn = connect(service.address, timeout=5.0)
+        send_frame(conn, {"type": "submit-study", "study": "figure1",
+                          "member_overrides": FIGURE1_TRIMS,
+                          "save": "svc-fig1"})
+        accepted = recv_frame(conn)
+        assert accepted["type"] == "accepted"
+        assert accepted["jobs"] == 5
+
+        progress = []
+        while True:
+            event = recv_frame(conn)
+            assert event is not None
+            if event["type"] == "progress":
+                progress.append(event)
+            elif event["type"] == "study-done":
+                done = event
+                break
+        assert len(progress) == 5
+        assert progress[-1]["done"] == 5
+        assert done["failures"] == 0
+        assert done["record"]["name"] == "svc-fig1"
+        conn.close()
+
+        # The saved run matches what the submission returned, and the
+        # service serves it back by name.
+        expected = execute_plan(
+            compile_study("figure1", member_overrides=FIGURE1_TRIMS),
+            backend=SerialBackend())
+        assert service.store.load("svc-fig1").to_json() == expected.to_json()
+
+        conn = connect(service.address, timeout=5.0)
+        send_frame(conn, {"type": "fetch-run", "name": "svc-fig1"})
+        fetched = recv_frame(conn)
+        assert fetched["type"] == "run"
+        assert fetched["results"] == json.loads(expected.to_json())
+        send_frame(conn, {"type": "list-runs"})
+        runs = recv_frame(conn)
+        assert [record["name"] for record in runs["runs"]] == ["svc-fig1"]
+        conn.close()
+        stop.set()
+
+    def test_submitted_units_land_in_service_cache(self, service):
+        stop, threads = _start_workers(service, 1)
+        conn = connect(service.address, timeout=5.0)
+        send_frame(conn, {"type": "submit-study", "study": "figure1",
+                          "member_overrides": FIGURE1_TRIMS,
+                          "save": "first"})
+        while True:
+            event = recv_frame(conn)
+            if event["type"] == "study-done":
+                break
+        conn.close()
+
+        # Resubmission resumes entirely from the service's unit cache.
+        conn = connect(service.address, timeout=5.0)
+        send_frame(conn, {"type": "submit-study", "study": "figure1",
+                          "member_overrides": FIGURE1_TRIMS,
+                          "save": "second"})
+        accepted = recv_frame(conn)
+        assert accepted["cached"] == accepted["jobs"] == 5
+        while True:
+            event = recv_frame(conn)
+            if event["type"] == "study-done":
+                break
+        conn.close()
+        assert (service.store.load("first").to_json()
+                == service.store.load("second").to_json())
+        stop.set()
+
+    def test_unknown_study_is_an_error_frame(self, service):
+        conn = connect(service.address, timeout=5.0)
+        send_frame(conn, {"type": "submit-study", "study": "nope"})
+        reply = recv_frame(conn)
+        assert reply["type"] == "error"
+        assert "nope" in reply["error"]
+        send_frame(conn, {"type": "fetch-run", "name": "missing"})
+        reply = recv_frame(conn)
+        assert reply["type"] == "error"
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_backend_distributed_requires_broker(self, capsys):
+        from repro.run import main as run_main
+
+        with pytest.raises(SystemExit):
+            run_main(["study", "figure1", "--backend", "distributed"])
+
+    def test_broker_flag_implies_distributed(self, broker):
+        from repro.run import main as run_main
+
+        stop, threads = _start_workers(broker, 2)
+        code = run_main(
+            ["study", "figure1", "--broker", broker.address, "--quiet",
+             "--set", "bitcoin.architecture.duration_blocks=15",
+             "--set", "ethereum.architecture.duration_blocks=45",
+             "--set", "pbft.duration=1.0", "--set", "fabric.duration=1.0",
+             "--set", "edge.duration=1.0"])
+        assert code == 0
+        stop.set()
+
+    def test_ls_shows_failures_count(self, tmp_path, capsys):
+        from repro.run import main as run_main
+        from repro.analysis.resultset import ResultSet
+        from repro.scenarios import run_scenario
+
+        store = RunStore(tmp_path)
+        clean = ResultSet([run_scenario("double-spend")], name="clean")
+        store.save(clean, "clean-run")
+        failing = ResultSet(
+            [run_scenario("double-spend")], name="partial",
+            failures=[{"key": "k-s1", "scenario": "x", "seed": 1,
+                       "kind": "exception", "error": "boom",
+                       "attempts": 2, "elapsed_s": 0.1}])
+        store.save(failing, "partial-run")
+        assert run_main(["ls", "--runs-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "failures" in output
+        clean_row = next(line for line in output.splitlines()
+                         if "clean-run" in line)
+        partial_row = next(line for line in output.splitlines()
+                           if "partial-run" in line)
+        # Column order: name | results | failures | labels | ...
+        assert [cell.strip() for cell in clean_row.split("|")][2] == "-"
+        assert [cell.strip() for cell in partial_row.split("|")][2] == "1"
