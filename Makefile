@@ -66,11 +66,16 @@ chaos:
 	  --set ethereum.architecture.duration_blocks=45 \
 	  --set pbft.duration=1.0 --set fabric.duration=1.0 --set edge.duration=1.0
 
-# Distributed-execution gate: start a broker subprocess and two worker
-# subprocesses (one with a scripted first-attempt kill in its fault plan),
-# run the trimmed figure1 study through DistributedBackend, and assert the
-# saved run has an empty failure manifest and is byte-identical to the
-# committed study golden despite the mid-run worker death.
+# Distributed-execution gate, two chaos stages (repro.distributed.smoke):
+#   worker kill   broker + two worker subprocesses (one with a scripted
+#                 first-attempt kill in its fault plan) run the trimmed
+#                 figure1 study through DistributedBackend; the saved run
+#                 must have an empty failure manifest and be byte-identical
+#                 to the committed study golden despite the mid-run death.
+#   broker kill   a journaled broker is SIGKILLed mid-run and restarted on
+#                 the same journal; the client re-attaches, the run
+#                 completes byte-identical with an empty manifest, and the
+#                 retired run's journal file is garbage-collected.
 distributed:
 	PYTHONPATH=src $(PY) -m repro.distributed.smoke
 

@@ -30,6 +30,11 @@ frames on TCP or Unix sockets:
 - :mod:`repro.distributed.service` — ``repro-serve``: the first service
   increment; accepts whole study submissions over the same protocol,
   streams progress events, and serves finished ResultSets by name.
+- :mod:`repro.distributed.journal` — the broker's write-ahead journal:
+  per-run JSONL transition logs under the RunStore directory, replayed
+  on start so a ``kill -9`` mid-run resumes (in-flight leases requeued
+  uncharged, settled results re-delivered on client re-attach) and
+  deleted when a run retires.
 
 Everything here is transport; no simulation semantics live in this
 package, which is why it sits outside the reprolint RL005 purity zone
@@ -38,12 +43,14 @@ package, which is why it sits outside the reprolint RL005 purity zone
 
 from repro.distributed.backend import DistributedBackend
 from repro.distributed.broker import BrokerQueue, BrokerServer
+from repro.distributed.journal import JournalDir, RunJournal
 from repro.distributed.protocol import (
     FrameError,
     MAX_FRAME_BYTES,
     parse_address,
     recv_frame,
     send_frame,
+    wait_readable,
 )
 from repro.distributed.worker import Worker
 
@@ -52,9 +59,12 @@ __all__ = [
     "BrokerServer",
     "DistributedBackend",
     "FrameError",
+    "JournalDir",
     "MAX_FRAME_BYTES",
+    "RunJournal",
     "Worker",
     "parse_address",
     "recv_frame",
     "send_frame",
+    "wait_readable",
 ]

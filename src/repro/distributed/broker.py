@@ -25,13 +25,25 @@ retries, requeues and worker deaths converges on the same metrics, and
 the submitting client's merge-by-key output is byte-identical to a
 serial run.
 
+Durability and lifecycle (see :mod:`repro.distributed.journal`): with a
+journal configured, every transition is appended to a per-run
+write-ahead file and replayed on start, so ``kill -9`` mid-run resumes
+with in-flight leases requeued uncharged; a client that reconnects and
+re-submits the same run id *re-attaches* and receives every settled
+event again before the live ones.  Settled runs are *retired* — removed
+from the queue and their journal deleted — once their ``run-done`` event
+is delivered (or the run is cancelled and drained), so an always-on
+broker does not leak a ``_Run`` per study.  Every worker heartbeat is
+answered with a ``heartbeat-ack``; ``ok=false`` tells the worker its
+lease was reaped so it abandons the orphaned attempt.
+
 The queue logic (:class:`BrokerQueue`) is pure threads-and-state with no
 sockets, so the lease/retry/accounting behaviour is unit-testable
 without a network; :class:`BrokerServer` wraps it in a thread-per-
 connection frame loop.  Run as a process::
 
     repro-broker --listen 127.0.0.1:7480
-    repro-broker --listen unix:/tmp/repro-broker.sock
+    repro-broker --listen unix:/tmp/repro-broker.sock --journal runs/journal
 """
 
 from __future__ import annotations
@@ -39,12 +51,14 @@ from __future__ import annotations
 import argparse
 import heapq
 import itertools
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from queue import Queue
-from typing import Dict, List, Optional, Sequence
+from queue import Empty, Queue
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.distributed.journal import SCHEMA_VERSION, JournalDir, RunJournal
 from repro.distributed.protocol import (
     FrameError,
     create_listener,
@@ -89,16 +103,30 @@ class _Job:
 
 @dataclass
 class _Run:
-    """One submitted run: its jobs, policy and event stream."""
+    """One submitted run: its jobs, policy, event stream and lifecycle."""
 
     run_id: str
     policy: JobPolicy
+    order: int = 0
     jobs: Dict[str, _Job] = field(default_factory=dict)
     events: "Queue[Dict[str, object]]" = field(default_factory=Queue)
     open_jobs: int = 0
     completed: int = 0
     failed: int = 0
     cancelled: bool = False
+    #: True once run-done has been emitted (all jobs settled).
+    done: bool = False
+    #: Bumped on every (re)attach; a stale stream's epoch no longer
+    #: matches, so its cancel-on-dead-client cannot kill the run.
+    attach_seq: int = 0
+    attached: bool = True
+    detached_at: float = 0.0
+    #: key -> (metrics, cached); kept until retirement so a re-attaching
+    #: client can be replayed every settled event.
+    results: Dict[str, Tuple[Dict[str, float], bool]] = field(
+        default_factory=dict)
+    failures: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    journal: Optional[RunJournal] = None
 
 
 @dataclass
@@ -119,10 +147,25 @@ class BrokerQueue:
     All methods are thread-safe.  ``lease`` blocks up to ``wait_s`` for a
     ready job and returns a wire-shaped payload dict (``job`` / ``idle``
     / ``stop``), so the server can forward it verbatim.
+
+    ``journal`` (a :class:`~repro.distributed.journal.JournalDir`)
+    enables the write-ahead journal; :meth:`recover` replays it.
+    ``orphan_ttl`` bounds how long a finished-or-clientless run may sit
+    unattached before :meth:`sweep_orphans` retires it.
     """
 
-    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
+    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL_S,
+                 journal: Optional[JournalDir] = None,
+                 orphan_ttl: Optional[float] = None) -> None:
         self.lease_ttl = float(lease_ttl)
+        self.orphan_ttl = (float(orphan_ttl) if orphan_ttl is not None
+                           else max(60.0, 4.0 * self.lease_ttl))
+        #: Optional hook called with (key, metrics) on every non-cached
+        #: completion; the service points this at its RunStore so worker
+        #: results stay durable even if the submitting client is gone.
+        self.on_complete: Optional[
+            Callable[[str, Dict[str, float]], None]] = None
+        self._journal = journal
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._runs: Dict[str, _Run] = {}
@@ -148,9 +191,11 @@ class BrokerQueue:
         with self._lock:
             if run_id in self._runs:
                 raise ValueError(f"run {run_id!r} already submitted")
-            run = _Run(run_id=run_id, policy=policy or JobPolicy())
+            order = next(self._run_seq)
+            run = _Run(run_id=run_id, policy=policy or JobPolicy(),
+                       order=order)
             self._runs[run_id] = run
-            self._run_order[run_id] = next(self._run_seq)
+            self._run_order[run_id] = order
             for index, entry in enumerate(jobs):
                 key = str(entry["key"])
                 if key in run.jobs:
@@ -163,18 +208,82 @@ class BrokerQueue:
                     priority=index,
                 )
                 run.open_jobs += 1
-                self._push(run_id, run.jobs[key], ready_at=0.0)
+            self._journal_open(run)
+            self._journal_append(run, {
+                "v": SCHEMA_VERSION, "type": "submit", "run": run_id,
+                "order": order, "policy": policy_to_dict(run.policy),
+                "jobs": [{"key": job.key, "spec": job.spec,
+                          "seed": job.seed, "scenario": job.scenario}
+                         for job in run.jobs.values()],
+            })
+            for job in run.jobs.values():
+                self._push(run_id, job, ready_at=0.0)
             if run.open_jobs == 0:
                 self._finish_run(run)
             self._ready.notify_all()
             return run.events
 
-    def cancel(self, run_id: str) -> None:
-        """Drop a run: pending jobs are discarded, in-flight results too."""
+    def attach(self, run_id: str,
+               jobs: Optional[Sequence[Dict[str, object]]] = None,
+               ) -> "Queue[Dict[str, object]]":
+        """Re-attach a client to a live run after a lost connection.
+
+        The re-submitted job keys must all belong to the run (a *different*
+        job set under a reused run id is still rejected).  Returns a fresh
+        event stream primed with a ``job-done``/``job-failed`` event for
+        every already-settled job (and ``run-done`` if the run finished
+        while no client was attached), then the live events follow.  The
+        previous stream's epoch is invalidated, so a zombie stream thread
+        can no longer cancel the run.
+        """
         with self._lock:
             run = self._runs.get(run_id)
-            if run is not None:
-                run.cancelled = True
+            if run is None:
+                raise ValueError(f"unknown run {run_id!r}")
+            if run.cancelled:
+                raise ValueError(f"run {run_id!r} was cancelled")
+            if jobs is not None:
+                unknown = [str(entry["key"]) for entry in jobs
+                           if str(entry["key"]) not in run.jobs]
+                if unknown:
+                    raise ValueError(
+                        f"run {run_id!r} already submitted with a "
+                        f"different job set ({len(unknown)} unknown "
+                        f"key(s), e.g. {unknown[0]!r})")
+            run.attach_seq += 1
+            run.attached = True
+            events: "Queue[Dict[str, object]]" = Queue()
+            for job in sorted(run.jobs.values(), key=lambda j: j.priority):
+                if job.key in run.results:
+                    metrics, was_cached = run.results[job.key]
+                    events.put({"type": "job-done", "key": job.key,
+                                "metrics": dict(metrics), "worker": "",
+                                "cached": was_cached})
+                elif job.key in run.failures:
+                    events.put({"type": "job-failed", "key": job.key,
+                                "failure": dict(run.failures[job.key])})
+            if run.done:
+                events.put({"type": "run-done", "run": run.run_id,
+                            "completed": run.completed,
+                            "failed": run.failed})
+            run.events = events
+            return events
+
+    def cancel(self, run_id: str, epoch: Optional[int] = None) -> None:
+        """Drop a run: revoke its leases, drain its pending jobs, retire.
+
+        ``epoch`` (from :meth:`stream_epoch`) makes the cancel conditional:
+        a stale stream whose client re-attached since cannot cancel the
+        run out from under the new stream.
+        """
+        with self._ready:
+            run = self._runs.get(run_id)
+            if run is None:
+                return
+            if epoch is not None and epoch != run.attach_seq:
+                return
+            self._cancel_locked(run)
+            self._ready.notify_all()
 
     # -- dispatch ------------------------------------------------------
     def lease(self, worker: str, wait_s: float = 0.0) -> Dict[str, object]:
@@ -203,7 +312,11 @@ class BrokerQueue:
                 self._ready.wait(timeout=max(0.01, remaining))
 
     def heartbeat(self, lease_id: str) -> bool:
-        """Extend a live lease; ``False`` when it is gone (stale worker)."""
+        """Extend a live lease; ``False`` when it is gone (reaped lease).
+
+        The server forwards the verdict as a ``heartbeat-ack`` so the
+        worker can abandon an attempt whose lease was requeued.
+        """
         with self._lock:
             lease = self._leases.get(lease_id)
             if lease is None:
@@ -224,6 +337,15 @@ class BrokerQueue:
             job.state = "done"
             run.open_jobs -= 1
             run.completed += 1
+            run.results[job.key] = (dict(metrics), bool(cached))
+            self._journal_append(run, {"type": "done", "key": job.key,
+                                       "metrics": dict(metrics),
+                                       "cached": bool(cached)})
+            if self.on_complete is not None and not cached:
+                try:
+                    self.on_complete(job.key, dict(metrics))
+                except Exception:  # noqa: BLE001 - a sick store must not
+                    pass  # take the broker down; the journal still has it
             if not run.cancelled:
                 run.events.put({
                     "type": "job-done", "key": job.key,
@@ -247,6 +369,8 @@ class BrokerQueue:
             policy = run.policy
             if job.failed_attempts < policy.attempts and not run.cancelled:
                 job.state = "pending"
+                self._journal_append(run, {"type": "charge", "key": job.key,
+                                           "attempts": job.failed_attempts})
                 delay = policy.backoff_delay(job.key, job.failed_attempts)
                 self._push(run.run_id, job,
                            ready_at=time.monotonic() + delay)
@@ -261,6 +385,9 @@ class BrokerQueue:
                 kind=kind, error=error, attempts=job.failed_attempts,
                 elapsed_s=time.monotonic() - started,
             )
+            run.failures[job.key] = failure.to_dict()
+            self._journal_append(run, {"type": "failed", "key": job.key,
+                                       "failure": failure.to_dict()})
             if not run.cancelled:
                 run.events.put({"type": "job-failed", "key": job.key,
                                 "failure": failure.to_dict()})
@@ -289,12 +416,150 @@ class BrokerQueue:
                 self._ready.notify_all()
             return count
 
-    # -- lifecycle / introspection -------------------------------------
+    # -- lifecycle -----------------------------------------------------
+    def retire(self, run_id: str) -> bool:
+        """Drop a settled run once its ``run-done`` has been delivered.
+
+        Removes the run from ``_runs``/``_run_order`` and deletes its
+        journal file.  ``False`` when the run is unknown or still open —
+        retiring is only legal after ``run-done``.
+        """
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is None or not run.done or run.open_jobs > 0:
+                return False
+            self._retire_locked(run)
+            return True
+
+    def detach(self, run_id: str, epoch: int) -> None:
+        """Record that the stream holding ``epoch`` is gone.
+
+        An unattached run is fair game for :meth:`sweep_orphans` once
+        ``orphan_ttl`` passes without a re-attach.
+        """
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is not None and run.attach_seq == epoch:
+                run.attached = False
+                run.detached_at = time.monotonic()
+
+    def sweep_orphans(self, now: Optional[float] = None) -> int:
+        """Retire runs whose client has been gone past ``orphan_ttl``.
+
+        Finished runs are dropped outright; unfinished ones are cancelled
+        (leases revoked, pending jobs drained) and retire once drained.
+        This is the backstop that keeps a journal-restored broker from
+        holding runs forever when the submitting client never returns.
+        """
+        if now is None:
+            now = time.monotonic()
+        swept = 0
+        with self._ready:
+            for run in list(self._runs.values()):
+                if run.attached or now - run.detached_at < self.orphan_ttl:
+                    continue
+                if run.done:
+                    self._retire_locked(run)
+                else:
+                    self._cancel_locked(run)
+                swept += 1
+            if swept:
+                self._ready.notify_all()
+        return swept
+
+    def recover(self) -> List[str]:
+        """Replay the journal directory into the queue (broker start).
+
+        Settled jobs keep their recorded metrics/failures; jobs that were
+        pending or leased at the crash come back pending at the same
+        attempt number (lost leases are never charged).  Restored runs
+        start unattached: a client that re-submits the same run id
+        re-attaches, anything else is swept after ``orphan_ttl``.
+        """
+        if self._journal is None:
+            return []
+        restored: List[str] = []
+        max_order = -1
+        with self._ready:
+            for state in self._journal.replay():
+                max_order = max(max_order, state.order)
+                if state.run_id in self._runs:
+                    continue
+                if state.cancelled:
+                    # A cancelled run has no client and, post-crash, no
+                    # leases left to drain: drop its journal outright.
+                    self._journal.discard(state.run_id)
+                    continue
+                run = _Run(run_id=state.run_id, order=state.order,
+                           policy=policy_from_dict(state.policy))
+                for index, entry in enumerate(state.jobs):
+                    key = str(entry.get("key", ""))
+                    if not key or key in run.jobs:
+                        continue
+                    job = _Job(
+                        key=key,
+                        spec=dict(entry.get("spec") or {}),  # type: ignore[arg-type]
+                        seed=int(entry.get("seed", 0)),  # type: ignore[arg-type]
+                        scenario=str(entry.get("scenario", "")),
+                        priority=index,
+                        failed_attempts=state.charges.get(key, 0),
+                    )
+                    if key in state.results:
+                        job.state = "done"
+                        run.completed += 1
+                        run.results[key] = (state.results[key],
+                                            key in state.cached)
+                    elif key in state.failures:
+                        job.state = "failed"
+                        run.failed += 1
+                        run.failures[key] = state.failures[key]
+                    else:
+                        run.open_jobs += 1  # pending again, uncharged
+                    run.jobs[key] = job
+                run.attached = False
+                run.detached_at = time.monotonic()
+                self._runs[run.run_id] = run
+                self._run_order[run.run_id] = run.order
+                self._journal_open(run)
+                for job in sorted(run.jobs.values(),
+                                  key=lambda j: j.priority):
+                    if job.state == "pending":
+                        self._push(run.run_id, job, ready_at=0.0)
+                if run.open_jobs == 0:
+                    # run-done is primed into the stream on re-attach.
+                    run.done = True
+                restored.append(run.run_id)
+            if max_order >= 0:
+                self._run_seq = itertools.count(max_order + 1)
+            if restored:
+                self._ready.notify_all()
+        return restored
+
     def stop(self) -> None:
         """Tell every waiting worker to exit (lease returns ``stop``)."""
         with self._ready:
             self._stopping = True
             self._ready.notify_all()
+
+    # -- introspection -------------------------------------------------
+    def has_run(self, run_id: str) -> bool:
+        with self._lock:
+            return run_id in self._runs
+
+    def stream_epoch(self, run_id: str) -> int:
+        """The run's current attach epoch (-1 for an unknown run)."""
+        with self._lock:
+            run = self._runs.get(run_id)
+            return run.attach_seq if run is not None else -1
+
+    def run_results(self, run_id: str) -> Dict[str, Dict[str, float]]:
+        """Settled metrics of a live run (key -> metrics), a copy."""
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is None:
+                return {}
+            return {key: dict(metrics)
+                    for key, (metrics, _) in run.results.items()}
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
@@ -302,13 +567,38 @@ class BrokerQueue:
                 run_id: {
                     "open": run.open_jobs, "completed": run.completed,
                     "failed": run.failed, "cancelled": run.cancelled,
+                    "done": run.done, "attached": run.attached,
                 }
                 for run_id, run in sorted(self._runs.items())
             }
             return {"runs": runs, "leases": len(self._leases),
-                    "queued": len(self._heap)}
+                    "queued": len(self._heap),
+                    "journal": self._journal is not None}
 
     # -- internals (call with the lock held) ---------------------------
+    def _journal_open(self, run: _Run) -> None:
+        if self._journal is None:
+            return
+        try:
+            run.journal = self._journal.open_run(run.run_id)
+        except OSError as error:
+            run.journal = None
+            print(f"broker: cannot open journal for run {run.run_id!r}: "
+                  f"{error}; continuing without one", file=sys.stderr)
+
+    def _journal_append(self, run: _Run, record: Dict[str, object]) -> None:
+        if run.journal is None:
+            return
+        try:
+            run.journal.append(record)
+        except (OSError, ValueError) as error:
+            # Durability degrades, the broker stays up: drop this run's
+            # journal rather than failing live traffic on a sick disk.
+            run.journal.close()
+            run.journal = None
+            print(f"broker: journal write failed for run {run.run_id!r}: "
+                  f"{error}; continuing without one", file=sys.stderr)
+
     def _push(self, run_id: str, job: _Job, ready_at: float) -> None:
         heapq.heappush(self._heap, (ready_at, self._run_order[run_id],
                                     job.priority, next(self._seq),
@@ -324,9 +614,10 @@ class BrokerQueue:
                 heapq.heappop(self._heap)
                 if (job is not None and run.cancelled
                         and job.state == "pending"):
-                    # Account the dropped job so a cancelled run drains.
-                    job.state = "failed"
-                    run.open_jobs -= 1
+                    # Backstop — cancel() drains proactively, but any
+                    # job requeued into a cancelled run is dropped here
+                    # with the same accounting so the run still finishes.
+                    self._drop_locked(run, job)
                 continue
             if ready_at > now:
                 return None
@@ -347,6 +638,9 @@ class BrokerQueue:
             deadline=now + self.lease_ttl,
         )
         self._leases[lease.lease_id] = lease
+        self._journal_append(run, {"type": "lease", "key": job.key,
+                                   "worker": worker,
+                                   "attempt": lease.attempt})
         return {
             "type": "job",
             "lease": lease.lease_id,
@@ -366,6 +660,9 @@ class BrokerQueue:
         job = run.jobs.get(lease.key) if run is not None else None
         if job is None or job.state != "leased":
             return
+        if run.cancelled:
+            self._drop_locked(run, job)
+            return
         job.state = "pending"
         self._push(lease.run_id, job, ready_at=0.0)
 
@@ -376,9 +673,55 @@ class BrokerQueue:
             self._requeue_locked(lease)
         return len(expired)
 
+    def _drop_locked(self, run: _Run, job: _Job) -> None:
+        """Drop one job of a cancelled run with full accounting."""
+        job.state = "failed"
+        run.open_jobs -= 1
+        run.failed += 1
+        if run.open_jobs == 0:
+            self._finish_run(run)
+
+    def _cancel_locked(self, run: _Run) -> None:
+        if run.cancelled:
+            return
+        run.cancelled = True
+        self._journal_append(run, {"type": "cancel"})
+        # Revoke the run's outstanding leases: each holder's next
+        # heartbeat is answered ok=false and the worker abandons.
+        for lease_id, lease in list(self._leases.items()):
+            if lease.run_id != run.run_id:
+                continue
+            del self._leases[lease_id]
+            job = run.jobs.get(lease.key)
+            if job is not None and job.state == "leased":
+                self._drop_locked(run, job)
+        for job in list(run.jobs.values()):
+            if job.state == "pending":
+                self._drop_locked(run, job)
+        if run.open_jobs == 0:
+            if run.done:
+                self._retire_locked(run)
+            else:
+                self._finish_run(run)
+
     def _finish_run(self, run: _Run) -> None:
+        if run.done:
+            return
+        run.done = True
         run.events.put({"type": "run-done", "run": run.run_id,
                         "completed": run.completed, "failed": run.failed})
+        if run.cancelled:
+            # Nobody is listening to a cancelled run: retire it now.
+            self._retire_locked(run)
+
+    def _retire_locked(self, run: _Run) -> None:
+        self._runs.pop(run.run_id, None)
+        self._run_order.pop(run.run_id, None)
+        if run.journal is not None:
+            run.journal.close()
+            run.journal = None
+        if self._journal is not None:
+            self._journal.discard(run.run_id)
 
 
 class BrokerServer:
@@ -388,30 +731,52 @@ class BrokerServer:
     workers, ``submit`` (stream events until ``run-done``) from clients,
     and ``ping``/``stats``/``shutdown`` from anyone.  A submit stream
     emits a ``tick`` keep-alive every few seconds so a dead client is
-    detected and its run cancelled instead of leaking.
+    detected and its run cancelled instead of leaking; a ``submit`` for a
+    run id the queue already holds (after a broker restart + journal
+    replay, or a client reconnect) re-attaches instead of erroring.
+    Every ``heartbeat`` is answered with a ``heartbeat-ack``.
     """
 
     #: Seconds between keep-alive ticks on an idle submit stream.
     TICK_S = 5.0
 
+    PROG = "repro-broker"
+
     def __init__(self, listen: str = "127.0.0.1:0",
                  lease_ttl: float = DEFAULT_LEASE_TTL_S,
-                 queue: Optional[BrokerQueue] = None) -> None:
-        self.queue = queue or BrokerQueue(lease_ttl)
+                 queue: Optional[BrokerQueue] = None,
+                 journal: Optional[JournalDir] = None,
+                 orphan_ttl: Optional[float] = None) -> None:
+        self.queue = queue or BrokerQueue(lease_ttl, journal=journal,
+                                          orphan_ttl=orphan_ttl)
         self._listener = create_listener(listen)
         self.address = listener_address(self._listener)
         self._threads: List[threading.Thread] = []
         self._conn_seq = itertools.count(1)
         self._shutdown = threading.Event()
+        self._started = False
+        #: Run ids restored from the journal by the last start().
+        self.recovered: List[str] = []
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
-        """Start the accept loop and the lease reaper (daemon threads)."""
+        """Replay the journal, then start the accept loop and reaper."""
+        if self._started:
+            return
+        self._started = True
+        self.recovered = self.queue.recover()
+        if self.recovered:
+            print(f"{self.PROG}: recovered {len(self.recovered)} run(s) "
+                  f"from the journal", flush=True)
+        self._after_recover(self.recovered)
         for target, name in ((self._accept_loop, "broker-accept"),
                              (self._reaper_loop, "broker-reaper")):
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
+
+    def _after_recover(self, run_ids: List[str]) -> None:
+        """Hook for subclasses (the service flushes replayed results)."""
 
     def stop(self) -> None:
         self._shutdown.set()
@@ -441,6 +806,7 @@ class BrokerServer:
         interval = max(0.5, self.queue.lease_ttl / 4.0)
         while not self._shutdown.wait(interval):
             self.queue.expire()
+            self.queue.sweep_orphans()
 
     # -- per-connection handling ---------------------------------------
     def _handle(self, conn) -> None:
@@ -459,7 +825,10 @@ class BrokerServer:
                     send_frame(conn, self.queue.lease(
                         worker_id or "anonymous", wait_s))
                 elif kind == "heartbeat":
-                    self.queue.heartbeat(str(message.get("lease", "")))
+                    lease_id = str(message.get("lease", ""))
+                    send_frame(conn, {"type": "heartbeat-ack",
+                                      "lease": lease_id,
+                                      "ok": self.queue.heartbeat(lease_id)})
                 elif kind == "complete":
                     self.queue.complete(
                         str(message.get("lease", "")),
@@ -501,41 +870,87 @@ class BrokerServer:
         if not run_id:
             send_frame(conn, {"type": "error", "error": "submit needs a run id"})
             return
+        jobs = list(message.get("jobs") or [])  # type: ignore[arg-type]
+        resumed = False
         try:
             policy = policy_from_dict(message.get("policy"))  # type: ignore[arg-type]
-            events = self.queue.submit(
-                run_id, list(message.get("jobs") or []),  # type: ignore[arg-type]
-                policy=policy)
+            if self.queue.has_run(run_id):
+                events = self.queue.attach(run_id, jobs)
+                resumed = True
+            else:
+                try:
+                    events = self.queue.submit(run_id, jobs, policy=policy)
+                except ValueError:
+                    # Raced a concurrent submit of the same id; attach
+                    # validates the job set or rejects for us.
+                    events = self.queue.attach(run_id, jobs)
+                    resumed = True
         except (ValueError, KeyError, TypeError) as error:
             send_frame(conn, {"type": "error", "error": str(error)})
             return
+        epoch = self.queue.stream_epoch(run_id)
         send_frame(conn, {"type": "submitted", "run": run_id,
-                          "jobs": len(list(message.get("jobs") or []))})  # type: ignore[arg-type]
-        self._stream_events(conn, run_id, events)
+                          "jobs": len(jobs), "resumed": resumed})
+        self._stream_events(conn, run_id, events, epoch)
 
     def _stream_events(self, conn, run_id: str,
-                       events: "Queue[Dict[str, object]]") -> None:
-        """Forward run events until ``run-done``; cancel on a dead client."""
+                       events: "Queue[Dict[str, object]]",
+                       epoch: int = 0) -> None:
+        """Forward run events until ``run-done``; cancel on a dead client.
+
+        After delivering ``run-done`` the run is retired (its journal is
+        deleted); on a client error the cancel carries this stream's
+        epoch, so a newer re-attached stream is never cancelled by a
+        stale one.
+        """
         try:
             while True:
                 try:
                     event = events.get(timeout=self.TICK_S)
-                except Exception:  # queue.Empty — prove the client is alive
+                except Empty:  # idle: prove the client is alive
                     send_frame(conn, {"type": "tick", "run": run_id})
                     continue
                 send_frame(conn, event)
                 if event.get("type") == "run-done":
+                    self.queue.retire(run_id)
                     return
         except (FrameError, OSError):
-            self.queue.cancel(run_id)
+            self.queue.cancel(run_id, epoch=epoch)
             raise
+        finally:
+            self.queue.detach(run_id, epoch)
+
+
+_EPILOG = """\
+journal & recovery:
+  Unless --no-journal is given, every queue transition (submit, lease
+  grant, attempt charge, complete, fail, cancel) is appended to a
+  per-run JSONL journal under the --journal directory (default:
+  <runs>/journal next to the RunStore, i.e. $REPRO_RUNS_DIR or ./runs).
+  On start the journal is replayed: settled jobs keep their recorded
+  metrics/failures, jobs that were leased at the crash come back pending
+  at the same attempt number (lost leases are never charged), and a
+  client that reconnects and re-submits the same run id re-attaches and
+  receives every already-settled event before the live ones — so a
+  kill -9 mid-run resumes to output byte-identical to a serial run.
+  A run's journal file is deleted when the run retires (its run-done
+  was delivered, or it was cancelled and drained).
+
+heartbeat-ack:
+  Every worker heartbeat is answered with heartbeat-ack {ok}.  ok=false
+  means the lease was reaped (expired or its run cancelled): the worker
+  abandons the orphaned attempt instead of computing a result the
+  broker would silently drop.
+"""
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-broker",
         description="Job broker for distributed scenario execution "
-                    "(see repro.distributed).")
+                    "(see repro.distributed).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--listen", default="127.0.0.1:0", metavar="ADDR",
                         help="HOST:PORT or unix:/path (default: "
                              "127.0.0.1 on an ephemeral port)")
@@ -543,8 +958,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=DEFAULT_LEASE_TTL_S, metavar="S",
                         help="seconds a lease survives without a heartbeat "
                              f"(default: {DEFAULT_LEASE_TTL_S:g})")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="write-ahead journal directory (default: "
+                             "<runs>/journal; see epilog)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="run without a journal: a broker crash "
+                             "loses every queued run")
     args = parser.parse_args(argv)
-    server = BrokerServer(listen=args.listen, lease_ttl=args.lease_ttl)
+    journal = None
+    if not args.no_journal:
+        from repro.analysis.runstore import default_runs_dir
+
+        root = args.journal or (default_runs_dir() / "journal")
+        journal = JournalDir(root)
+    server = BrokerServer(listen=args.listen, lease_ttl=args.lease_ttl,
+                          journal=journal)
     print(f"repro-broker listening on {server.address}", flush=True)
     try:
         server.serve_forever()

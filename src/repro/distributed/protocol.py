@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import select
 import socket
 import struct
 from typing import Dict, Optional, Tuple, Union
@@ -93,6 +94,24 @@ def _recv_exact(sock: socket.socket, count: int,
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def wait_readable(sock: socket.socket, timeout: float) -> bool:
+    """Whether ``sock`` has data (or EOF) to read within ``timeout`` s.
+
+    This is how a peer polls for incoming frames without committing to a
+    blocking :func:`recv_frame` — e.g. a worker watching for
+    ``heartbeat-ack`` verdicts while its attempt thread runs.  Only
+    *call* recv_frame after a ``True``: a read timeout mid-frame would
+    lose the partial bytes, so the frame functions stay blocking.  A
+    closed or invalid socket reports ``True`` and lets the read surface
+    the error.
+    """
+    try:
+        readable, _, _ = select.select([sock], [], [], max(0.0, timeout))
+    except (OSError, ValueError):
+        return True
+    return bool(readable)
 
 
 def parse_address(text: str) -> Address:

@@ -20,6 +20,14 @@ Studies always run in ``keep_going`` mode: a job that exhausts its
 retries lands in the saved ResultSet's failure manifest (graceful
 degradation) instead of aborting the service's run.
 
+The service journals its queue under ``<runs>/journal`` (see
+:mod:`repro.distributed.journal`): a killed service replays the journal
+on restart, flushes every already-settled unit result into the store,
+and resumes the outstanding jobs — so the *next* ``submit-study`` for
+the same study picks up exactly where the dead one stopped.  Finished
+runs are retired (queue entry dropped, journal file deleted) as soon as
+their ``study-done`` reply is sent, so an always-on service stays flat.
+
 Run as a process::
 
     repro-serve --listen 127.0.0.1:7480 --runs-dir runs
@@ -30,10 +38,11 @@ from __future__ import annotations
 import argparse
 import itertools
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.runstore import RunStore
 from repro.distributed.broker import DEFAULT_LEASE_TTL_S, BrokerServer
+from repro.distributed.journal import JournalDir
 from repro.distributed.protocol import FrameError, send_frame
 from repro.scenarios.execution import JobFailure, JobPolicy
 
@@ -41,13 +50,48 @@ _STUDY_SEQ = itertools.count(1)
 
 
 class ServiceServer(BrokerServer):
-    """Broker plus study compilation, result persistence and retrieval."""
+    """Broker plus study compilation, result persistence and retrieval.
+
+    ``journal`` is ``True`` (journal under ``<store>/journal``), a path
+    or :class:`~repro.distributed.journal.JournalDir`, or ``False`` to
+    run without durability.
+    """
+
+    PROG = "repro-serve"
 
     def __init__(self, listen: str = "127.0.0.1:0",
                  runs_dir: Optional[str] = None,
-                 lease_ttl: float = DEFAULT_LEASE_TTL_S) -> None:
-        super().__init__(listen=listen, lease_ttl=lease_ttl)
+                 lease_ttl: float = DEFAULT_LEASE_TTL_S,
+                 journal: Union[bool, str, JournalDir] = True,
+                 orphan_ttl: Optional[float] = None) -> None:
         self.store = RunStore(runs_dir)
+        journal_dir: Optional[JournalDir] = None
+        if journal is True:
+            journal_dir = JournalDir(self.store.root / "journal")
+        elif isinstance(journal, JournalDir):
+            journal_dir = journal
+        elif journal:
+            journal_dir = JournalDir(journal)
+        super().__init__(listen=listen, lease_ttl=lease_ttl,
+                         journal=journal_dir, orphan_ttl=orphan_ttl)
+        # Worker results stay durable in the unit cache even when the
+        # submitting client (or the submit-study loop) is gone.
+        self.queue.on_complete = self.store.put_unit
+
+    def _after_recover(self, run_ids: List[str]) -> None:
+        """Flush journal-replayed unit results into the store.
+
+        Settled metrics recorded before the crash become cache hits for
+        the re-dispatched jobs and for the next ``submit-study``.
+        """
+        flushed = 0
+        for run_id in run_ids:
+            for key, metrics in self.queue.run_results(run_id).items():
+                self.store.put_unit(key, metrics)
+                flushed += 1
+        if flushed:
+            print(f"{self.PROG}: flushed {flushed} recovered unit "
+                  f"result(s) into {self.store.root}", flush=True)
 
     # -- extra message types -------------------------------------------
     def _handle_extra(self, conn, kind: str, message: Dict[str, object]) -> bool:
@@ -144,6 +188,9 @@ class ServiceServer(BrokerServer):
             self.queue.cancel(run_id)
             raise
 
+        # The run's lifecycle ends here: retire it (and its journal)
+        # instead of leaking a _Run per study in an always-on service.
+        self.queue.retire(run_id)
         results = plan.assemble(completed, failures=failures)
         save_name = str(message.get("save") or run_id)
         record = self.store.save(results, save_name)
@@ -153,11 +200,33 @@ class ServiceServer(BrokerServer):
                           "results": results.to_dict()})
 
 
+_EPILOG = """\
+journal & recovery:
+  Unless --no-journal is given, the queue is journaled under --journal
+  PATH (default: <runs-dir>/journal) with the broker's write-ahead
+  discipline: every submit / lease grant / attempt charge / complete /
+  fail / cancel is appended per run.  A killed service replays the
+  journal on restart, flushes every already-settled unit result into
+  the store, and re-queues the jobs that were in flight (lost leases
+  come back uncharged), so the next submit-study of the same study
+  resumes from the unit cache instead of starting over.  A run's
+  journal file is deleted when the run retires (study-done sent, or
+  the run cancelled and drained).
+
+heartbeat-ack:
+  Worker heartbeats are answered with heartbeat-ack {ok}; ok=false
+  tells the worker its lease was reaped so it abandons the orphaned
+  attempt instead of computing a result the queue would drop.
+"""
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Always-on simulation service: broker + study "
-                    "submission + result store (see repro.distributed).")
+                    "submission + result store (see repro.distributed).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--listen", default="127.0.0.1:0", metavar="ADDR",
                         help="HOST:PORT or unix:/path (default: 127.0.0.1 "
                              "on an ephemeral port)")
@@ -167,9 +236,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--lease-ttl", type=float,
                         default=DEFAULT_LEASE_TTL_S, metavar="S",
                         help="seconds a lease survives without a heartbeat")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="write-ahead journal directory (default: "
+                             "<runs-dir>/journal; see epilog)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="run without a journal: a service crash "
+                             "loses every queued run")
     args = parser.parse_args(argv)
+    journal: Union[bool, str] = True
+    if args.no_journal:
+        journal = False
+    elif args.journal:
+        journal = args.journal
     server = ServiceServer(listen=args.listen, runs_dir=args.runs_dir,
-                           lease_ttl=args.lease_ttl)
+                           lease_ttl=args.lease_ttl, journal=journal)
     print(f"repro-serve listening on {server.address} "
           f"(store: {server.store.root})", flush=True)
     try:

@@ -18,8 +18,16 @@ twice across runs.  Fresh metrics are written back to the cache before
 they are reported, so the store is never behind the broker.
 
 While a job runs, a daemon thread heartbeats the lease every
-``lease_ttl / 3`` seconds; a worker that dies (or loses its network)
-simply stops heartbeating and the broker requeues the job uncharged.
+``lease_ttl / 3`` seconds and the main thread watches the connection for
+the broker's ``heartbeat-ack`` replies.  An ack with ``ok=false`` means
+the lease was reaped (expired behind a stall, or its run was cancelled):
+the worker *abandons* the attempt — a :class:`LeaseRevoked` is injected
+into the attempt thread (best-effort; Python threads cannot be killed,
+the same caveat :func:`_run_unit_attempt`'s own watchdog carries),
+nothing is reported, nothing is written to the cache, and the worker
+goes back to leasing instead of finishing a result the broker would
+silently drop.  A worker that dies outright simply stops heartbeating
+and the broker requeues the job uncharged.
 
 Run as a process::
 
@@ -29,6 +37,7 @@ Run as a process::
 from __future__ import annotations
 
 import argparse
+import ctypes
 import os
 import socket
 import sys
@@ -36,7 +45,13 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.distributed.protocol import FrameError, connect, recv_frame, send_frame
+from repro.distributed.protocol import (
+    FrameError,
+    connect,
+    recv_frame,
+    send_frame,
+    wait_readable,
+)
 from repro.scenarios.execution import (
     JobTimeoutError,
     UnitJob,
@@ -52,6 +67,17 @@ DEFAULT_POLL_S = 5.0
 #: Default seconds to keep retrying the initial broker connection.
 DEFAULT_CONNECT_TIMEOUT_S = 10.0
 
+#: Seconds between checks of the connection while an attempt runs.
+_ACK_POLL_S = 0.2
+
+
+class LeaseRevoked(BaseException):
+    """Injected into an attempt whose lease the broker reaped.
+
+    Derives from :class:`BaseException` so scenario code catching
+    ``Exception`` cannot swallow the revocation.
+    """
+
 
 class Worker:
     """One worker loop bound to a broker address.
@@ -60,7 +86,8 @@ class Worker:
     enables the shared unit-cache check.  ``run()`` leases until the
     broker says ``stop``, the connection drops, ``max_jobs`` is reached,
     or ``stop_event`` is set; it returns the number of jobs executed
-    (cache hits included).
+    (cache hits included).  ``abandoned`` counts attempts dropped after
+    a ``heartbeat-ack`` reported the lease reaped.
     """
 
     def __init__(self, broker: str, name: Optional[str] = None,
@@ -69,6 +96,7 @@ class Worker:
         self.name = name or f"worker-{os.getpid()}"
         self.store = store
         self.poll_s = poll_s
+        self.abandoned = 0
         self._send_lock = threading.Lock()
 
     def run(self, stop_event: Optional[threading.Event] = None,
@@ -83,7 +111,7 @@ class Worker:
                 if stop_event is not None and stop_event.is_set():
                     return executed
                 self._send(conn, {"type": "lease", "wait_s": self.poll_s})
-                reply = recv_frame(conn)
+                reply = self._recv_reply(conn)
                 if reply is None or reply.get("type") == "stop":
                     return executed
                 if reply.get("type") != "job":
@@ -115,6 +143,14 @@ class Worker:
         with self._send_lock:
             send_frame(conn, message)
 
+    @staticmethod
+    def _recv_reply(conn: socket.socket) -> Optional[Dict[str, object]]:
+        """The next non-ack frame (stray heartbeat-acks are skipped)."""
+        while True:
+            reply = recv_frame(conn)
+            if reply is None or reply.get("type") != "heartbeat-ack":
+                return reply
+
     def _execute(self, conn: socket.socket, message: Dict[str, object]) -> None:
         lease = str(message["lease"])
         key = str(message["key"])
@@ -133,32 +169,97 @@ class Worker:
                       spec=ScenarioSpec.from_dict(message["spec"]),  # type: ignore[arg-type]
                       seed=int(message["seed"]))  # type: ignore[arg-type]
         done = threading.Event()
+        outcome: Dict[str, object] = {}
+
+        def _attempt() -> None:
+            try:
+                outcome["metrics"] = _run_unit_attempt(
+                    job, attempt,
+                    float(timeout_s) if timeout_s else None)  # type: ignore[arg-type]
+            except LeaseRevoked:
+                pass  # abandoned: the broker already requeued the job
+            except JobTimeoutError as error:
+                outcome["timeout"] = error
+            except Exception as error:  # noqa: BLE001 - reported, not fatal
+                outcome["error"] = error
+
+        runner = threading.Thread(target=_attempt, daemon=True,
+                                  name=f"attempt-{lease}")
+        runner.start()
         beat = threading.Thread(
             target=self._heartbeat_loop, args=(conn, lease, lease_ttl, done),
             name=f"heartbeat-{lease}", daemon=True)
         beat.start()
         try:
-            metrics = _run_unit_attempt(
-                job, attempt,
-                float(timeout_s) if timeout_s else None)  # type: ignore[arg-type]
-        except JobTimeoutError as error:
-            done.set()
-            self._send(conn, {"type": "fail", "lease": lease,
-                              "kind": "timeout",
-                              "error": _describe_error(error)})
-            return
-        except Exception as error:  # noqa: BLE001 - reported, not fatal
-            done.set()
-            self._send(conn, {"type": "fail", "lease": lease,
-                              "kind": "exception",
-                              "error": _describe_error(error)})
-            return
+            if self._watch_attempt(conn, lease, runner):
+                # Lease reaped: abandon the attempt, report nothing.
+                self.abandoned += 1
+                self._revoke(runner)
+                runner.join(timeout=5.0)
+                return
         finally:
             done.set()
+        if "timeout" in outcome:
+            self._send(conn, {"type": "fail", "lease": lease,
+                              "kind": "timeout",
+                              "error": _describe_error(outcome["timeout"])})
+            return
+        if "error" in outcome:
+            self._send(conn, {"type": "fail", "lease": lease,
+                              "kind": "exception",
+                              "error": _describe_error(outcome["error"])})
+            return
+        metrics = outcome.get("metrics")
+        if metrics is None:
+            return  # revoked raced the finish line; nothing to report
         if self.store is not None:
             self.store.put_unit(key, metrics)
         self._send(conn, {"type": "complete", "lease": lease,
                           "metrics": metrics})
+
+    def _watch_attempt(self, conn: socket.socket, lease: str,
+                       runner: threading.Thread) -> bool:
+        """Wait out the attempt while reading broker frames.
+
+        Returns ``True`` when a ``heartbeat-ack`` reports the lease
+        reaped (the attempt must be abandoned), ``False`` when the
+        attempt finished and its outcome should be reported.  A dead
+        connection raises: there is no broker left to report to.
+        """
+        while runner.is_alive():
+            if not wait_readable(conn, _ACK_POLL_S):
+                continue
+            frame = recv_frame(conn)
+            if frame is None:
+                raise FrameError("broker closed the connection mid-job")
+            if (frame.get("type") == "heartbeat-ack"
+                    and frame.get("lease") == lease
+                    and not frame.get("ok", True)):
+                return True
+            # ok-acks (and anything unexpected) are just liveness noise.
+        return False
+
+    @staticmethod
+    def _revoke(runner: threading.Thread) -> None:
+        """Best-effort LeaseRevoked injection into the attempt thread.
+
+        CPython delivers the exception at the next bytecode boundary, so
+        a pure-Python simulation stops burning CPU promptly; code blocked
+        in C keeps the thread alive until it returns (it is a daemon
+        thread, the same abandonment :func:`_run_unit_attempt`'s timeout
+        watchdog accepts).
+        """
+        ident = runner.ident
+        if ident is None or not runner.is_alive():
+            return
+        try:
+            injected = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(ident), ctypes.py_object(LeaseRevoked))
+            if injected > 1:  # hit more than one thread state: undo
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(ident), None)
+        except (AttributeError, OSError, ValueError):
+            pass  # non-CPython: the daemon thread is simply abandoned
 
     def _heartbeat_loop(self, conn: socket.socket, lease: str,
                         lease_ttl: float, done: threading.Event) -> None:
@@ -214,7 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     except KeyboardInterrupt:
         return 0
-    print(f"repro-worker {worker.name}: {executed} job(s) executed",
+    print(f"repro-worker {worker.name}: {executed} job(s) executed"
+          + (f", {worker.abandoned} abandoned" if worker.abandoned else ""),
           file=sys.stderr)
     return 0
 

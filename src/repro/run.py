@@ -151,15 +151,25 @@ examples:
                                                  the failed units
 
 distributed execution (see repro.distributed):
-  repro-broker --listen 127.0.0.1:7480           start the job broker
+  repro-broker --listen 127.0.0.1:7480           start the job broker (its
+                                                 queue is journaled under
+                                                 <runs>/journal and replayed
+                                                 on restart; --no-journal
+                                                 disables)
   repro-worker --broker 127.0.0.1:7480 --runs-dir runs   (repeat per host/core)
   repro-run study figure1 --backend distributed --broker 127.0.0.1:7480
                                                  same bytes as the serial run,
                                                  at any worker count, even if
-                                                 workers die mid-run
+                                                 workers die mid-run; with the
+                                                 default --journal the client
+                                                 also rides out a broker
+                                                 kill -9 + restart by
+                                                 re-attaching to the run
+                                                 (--no-journal fails fast)
   repro-serve --listen 127.0.0.1:7480 --runs-dir runs    always-on service:
-                                                 accepts study submissions and
-                                                 serves finished runs by name
+                                                 accepts study submissions,
+                                                 serves finished runs by name,
+                                                 journals + recovers its queue
 """
 
 
@@ -257,10 +267,17 @@ def _backend_from_args(args):
                 "workers attached")
         from repro.distributed import DistributedBackend
 
-        return DistributedBackend(args.broker)
+        # --journal (default) rides out a broker restart: the backend
+        # reconnects and re-submits the same run id, which re-attaches
+        # to the journal-replayed run; --no-journal fails fast instead.
+        return DistributedBackend(args.broker,
+                                  reattach=args.journal is not False)
     if args.broker:
         raise SystemExit(f"--broker only applies to --backend distributed, "
                          f"not --backend {choice}")
+    if args.journal is not None:
+        raise SystemExit("--journal/--no-journal only apply to "
+                         "--backend distributed")
     if choice == "serial":
         if args.jobs and args.jobs > 1:
             raise SystemExit("--backend serial contradicts --jobs N; drop one")
@@ -649,6 +666,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="broker address for --backend distributed "
                              "(HOST:PORT or unix:/path); implies the "
                              "distributed backend when given alone")
+    journal_group = parser.add_mutually_exclusive_group()
+    journal_group.add_argument("--journal", dest="journal",
+                               action="store_true", default=None,
+                               help="ride out a broker restart (default): on "
+                                    "a lost connection, reconnect and "
+                                    "re-attach to the journaled run by id")
+    journal_group.add_argument("--no-journal", dest="journal",
+                               action="store_false",
+                               help="fail fast when the broker connection "
+                                    "drops instead of re-attaching")
     parser.add_argument("--save", metavar="NAME",
                         help="persist the ResultSet under NAME in the run "
                              "store and resume finished unit jobs from it")

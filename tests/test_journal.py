@@ -1,0 +1,258 @@
+"""The broker's write-ahead journal: parsing, replay, prefix consistency.
+
+The durability argument rests on one property: appends are fsynced, so a
+crash leaves a *prefix* of the acknowledged history (possibly with a torn
+last line), and **any prefix of a valid journal replays to a consistent
+queue**.  The property-style tests here record a real queue journey —
+submit, lease, charge, complete, fail — then check every prefix of the
+resulting journal file: it folds to an internally consistent state, and a
+fresh :class:`BrokerQueue` recovered from it can be driven to completion
+and retired (which garbage-collects the journal file).
+"""
+
+import json
+
+import pytest
+
+from repro.distributed import BrokerQueue, JournalDir
+from repro.distributed.journal import (
+    SCHEMA_VERSION,
+    RunJournal,
+    parse_lines,
+    replay_records,
+    run_file_name,
+)
+from repro.scenarios import JobPolicy
+
+
+def _job(key, seed=1, scenario="s"):
+    return {"key": key, "spec": {"name": scenario}, "seed": seed,
+            "scenario": scenario}
+
+
+def _submit_record(run_id, keys, order=0):
+    return {"v": SCHEMA_VERSION, "type": "submit", "run": run_id,
+            "order": order, "policy": {},
+            "jobs": [_job(key) for key in keys]}
+
+
+# ----------------------------------------------------------------------
+# File naming
+# ----------------------------------------------------------------------
+class TestRunFileName:
+    def test_hostile_run_ids_are_filesystem_safe(self):
+        for run_id in ("../../etc/passwd", "a/b/c", "run id with spaces",
+                       "ünïcode", "", "." * 10):
+            name = run_file_name(run_id)
+            assert name.endswith(".jsonl")
+            assert "/" not in name and "\\" not in name
+            stem = name[:-len(".jsonl")]
+            assert stem == stem.strip("._-")
+            assert all(c.isalnum() or c in "._-" for c in stem)
+
+    def test_colliding_sanitised_prefixes_stay_distinct(self):
+        # Both sanitise to the prefix "run_a"; the digest disambiguates.
+        assert run_file_name("run/a") != run_file_name("run_a")
+
+    def test_stable_and_greppable(self):
+        assert run_file_name("study-figure1-1") == run_file_name(
+            "study-figure1-1")
+        assert run_file_name("study-figure1-1").startswith("study-figure1-1-")
+
+
+# ----------------------------------------------------------------------
+# Append / parse
+# ----------------------------------------------------------------------
+class TestRunJournal:
+    def test_append_close_reopen_appends(self, tmp_path):
+        journal_dir = JournalDir(tmp_path / "journal")
+        journal = journal_dir.open_run("r")
+        journal.append(_submit_record("r", ["a"]))
+        journal.append({"type": "done", "key": "a", "metrics": {"m": 1.0}})
+        journal.close()
+        reopened = journal_dir.open_run("r")
+        reopened.append({"type": "cancel"})
+        reopened.close()
+        records = parse_lines(
+            journal_dir.path_for("r").read_text(encoding="utf-8"))
+        assert [r["type"] for r in records] == ["submit", "done", "cancel"]
+        assert records[1]["metrics"] == {"m": 1.0}
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = RunJournal(tmp_path / "r.jsonl")
+        journal.close()
+        with pytest.raises(ValueError):
+            journal.append({"type": "cancel"})
+
+    def test_discard_missing_file_is_fine(self, tmp_path):
+        JournalDir(tmp_path / "journal").discard("never-existed")
+
+
+class TestParseLines:
+    def test_torn_tail_keeps_the_prefix(self):
+        good = [json.dumps({"type": "submit", "run": "r"}),
+                json.dumps({"type": "done", "key": "a"})]
+        text = "\n".join(good) + "\n" + '{"type": "done", "key": "b", "met'
+        records = parse_lines(text)
+        assert [r["type"] for r in records] == ["submit", "done"]
+
+    def test_non_dict_line_stops_parsing(self):
+        text = json.dumps({"type": "submit", "run": "r"}) + "\n[1, 2, 3]\n" \
+            + json.dumps({"type": "done", "key": "a"})
+        assert len(parse_lines(text)) == 1
+
+    def test_blank_lines_are_skipped(self):
+        text = "\n" + json.dumps({"type": "submit", "run": "r"}) + "\n\n"
+        assert len(parse_lines(text)) == 1
+
+
+# ----------------------------------------------------------------------
+# Folding records into run state
+# ----------------------------------------------------------------------
+class TestReplayRecords:
+    def test_full_history_folds(self):
+        state = replay_records([
+            _submit_record("r", ["a", "b"], order=3),
+            {"type": "lease", "key": "a", "worker": "w", "attempt": 1},
+            {"type": "charge", "key": "a", "attempts": 1},
+            {"type": "done", "key": "a", "metrics": {"m": 0.5},
+             "cached": True},
+            {"type": "failed", "key": "b",
+             "failure": {"key": "b", "kind": "exception"}},
+        ])
+        assert state.run_id == "r" and state.order == 3
+        assert state.results == {"a": {"m": 0.5}}
+        assert state.cached == {"a"}
+        assert state.charges == {"a": 1}
+        assert state.failures["b"]["kind"] == "exception"
+        assert state.leases == 1
+        assert not state.cancelled
+
+    def test_without_a_submit_there_is_no_state(self):
+        assert replay_records([]) is None
+        assert replay_records([{"type": "done", "key": "a"}]) is None
+
+    def test_second_submit_stops_the_fold(self):
+        state = replay_records([
+            _submit_record("r", ["a"]),
+            {"type": "done", "key": "a", "metrics": {}},
+            _submit_record("r", ["b"]),
+            {"type": "done", "key": "b", "metrics": {}},
+        ])
+        assert set(state.results) == {"a"}
+
+    def test_charges_only_grow(self):
+        state = replay_records([
+            _submit_record("r", ["a"]),
+            {"type": "charge", "key": "a", "attempts": 2},
+            {"type": "charge", "key": "a", "attempts": 1},
+        ])
+        assert state.charges == {"a": 2}
+
+    def test_cancel_flag(self):
+        state = replay_records([_submit_record("r", ["a"]),
+                                {"type": "cancel"}])
+        assert state.cancelled
+
+
+class TestJournalDir:
+    def test_replay_orders_runs_by_submission(self, tmp_path):
+        journal_dir = JournalDir(tmp_path / "journal")
+        for run_id, order in (("zz", 0), ("aa", 2), ("mm", 1)):
+            journal = journal_dir.open_run(run_id)
+            journal.append(_submit_record(run_id, ["a"], order=order))
+            journal.close()
+        assert [s.run_id for s in journal_dir.replay()] == ["zz", "mm", "aa"]
+
+    def test_empty_directory_replays_to_nothing(self, tmp_path):
+        assert JournalDir(tmp_path / "missing").replay() == []
+
+
+# ----------------------------------------------------------------------
+# The prefix-consistency property
+# ----------------------------------------------------------------------
+def _record_history(tmp_path):
+    """Drive a real journaled queue through every record type.
+
+    a fails once then completes, b completes (cached), c exhausts its
+    retry budget — the journal ends up with submit, lease, charge, done
+    and failed records in genuine interleaving.
+    """
+    journal_dir = JournalDir(tmp_path / "journal")
+    queue = BrokerQueue(journal=journal_dir)
+    policy = JobPolicy(max_retries=2, backoff_base_s=0.0)
+    queue.submit("history", [_job("a"), _job("b"), _job("c")], policy)
+    fail_budget = {"a": 1, "c": 3}  # scripted failures per key
+    while True:
+        grant = queue.lease("w", wait_s=2.0)
+        if grant["type"] != "job":
+            break
+        key = grant["key"]
+        if fail_budget.get(key, 0) > 0:
+            fail_budget[key] -= 1
+            queue.fail(grant["lease"], "exception", "boom")
+        else:
+            queue.complete(grant["lease"], {"m": 0.5},
+                           cached=(key == "b"))
+    # a retried once then completed, b completed from cache, c exhausted
+    # its three attempts into the manifest.
+    stats = queue.stats()["runs"]["history"]
+    assert stats["completed"] == 2 and stats["failed"] == 1
+    return journal_dir.path_for("history").read_text(encoding="utf-8")
+
+
+class TestPrefixReplayProperty:
+    def test_every_prefix_folds_to_a_consistent_state(self, tmp_path):
+        lines = _record_history(tmp_path).splitlines()
+        assert len(lines) >= 10  # all record types are actually present
+        for cut in range(len(lines) + 1):
+            state = replay_records(parse_lines("\n".join(lines[:cut])))
+            if cut == 0:
+                assert state is None
+                continue
+            submitted = {str(job["key"]) for job in state.jobs}
+            assert submitted == {"a", "b", "c"}
+            # Settled keys are submitted keys, exactly once each.
+            assert set(state.results) <= submitted
+            assert set(state.failures) <= submitted
+            assert not set(state.results) & set(state.failures)
+            assert set(state.charges) <= submitted
+            assert all(n >= 1 for n in state.charges.values())
+
+    def test_every_prefix_recovers_to_a_workable_queue(self, tmp_path):
+        lines = _record_history(tmp_path).splitlines()
+        for cut in range(1, len(lines) + 1):
+            root = tmp_path / f"cut-{cut}"
+            journal_dir = JournalDir(root)
+            root.mkdir()
+            (root / run_file_name("history")).write_text(
+                "\n".join(lines[:cut]) + "\n", encoding="utf-8")
+            queue = BrokerQueue(journal=journal_dir)
+            assert queue.recover() == ["history"]
+            stats = queue.stats()["runs"]["history"]
+            assert (stats["open"] + stats["completed"]
+                    + stats["failed"]) == 3
+            # Whatever was in flight at the cut can be driven home...
+            while True:
+                grant = queue.lease("w", wait_s=0.0)
+                if grant["type"] != "job":
+                    break
+                queue.complete(grant["lease"], {"m": 1.0})
+            # ...and the finished run retires, GC-ing its journal file.
+            assert queue.retire("history") is True
+            assert not queue.has_run("history")
+            assert not journal_dir.path_for("history").exists()
+
+    def test_torn_tail_still_recovers(self, tmp_path):
+        text = _record_history(tmp_path)
+        root = tmp_path / "torn"
+        root.mkdir()
+        (root / run_file_name("history")).write_text(
+            text + '{"type": "done", "key": "c", "met',
+            encoding="utf-8")
+        queue = BrokerQueue(journal=JournalDir(root))
+        assert queue.recover() == ["history"]
+        stats = queue.stats()["runs"]["history"]
+        # The torn record is ignored: c keeps its journaled failure.
+        assert stats["completed"] == 2 and stats["failed"] == 1
+        assert stats["open"] == 0 and stats["done"]
